@@ -1,0 +1,291 @@
+// Package spear's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (run them with `go test -bench . -benchtime 1x`)
+// and measure the hot paths of the simulator stack.
+//
+// One benchmark exists per artifact:
+//
+//	BenchmarkTable1Inventory        Table 1  (benchmark inventory)
+//	BenchmarkFig6Speedup            Figure 6 (normalized IPC, 3 machines x 15 kernels)
+//	BenchmarkTable3LongIFQ          Table 3  (SPEAR-256/128 vs branch behaviour)
+//	BenchmarkFig7SeparateFU         Figure 7 (.sf machines added)
+//	BenchmarkFig8MissReduction      Figure 8 (main-thread L1D miss reduction)
+//	BenchmarkFig9LatencyTolerance   Figure 9 (memory-latency sweep, 6 kernels)
+//
+// Each iteration performs the complete experiment (compile + simulate); the
+// rendered output of the final iteration is printed once so that a bench
+// run doubles as a reproduction log.
+package spear
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spear/internal/asm"
+	"spear/internal/bpred"
+	"spear/internal/cpu"
+	"spear/internal/emu"
+	"spear/internal/harness"
+	"spear/internal/mem"
+	"spear/internal/workloads"
+)
+
+// benchSuite prepares the full 15-kernel suite once for all experiment
+// benchmarks; preparation (assemble + profile + compile) is itself timed by
+// BenchmarkCompileSuite.
+var (
+	suiteOnce sync.Once
+	suiteVal  *harness.Suite
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) *harness.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = harness.NewSuite(harness.DefaultOptions())
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+func BenchmarkTable1Inventory(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.RenderTable1(s.Table1())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+func BenchmarkFig6Speedup(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure6(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+func BenchmarkTable3LongIFQ(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderTable3(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+func BenchmarkFig7SeparateFU(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure7(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+func BenchmarkFig8MissReduction(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure8(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+func BenchmarkFig9LatencyTolerance(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		series, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderFigure9(series)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkMotivation runs the stride-prefetcher-vs-pre-execution
+// comparison that backs the paper's introductory claim.
+func BenchmarkMotivation(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Motivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderMotivation(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkHybridClaim compares software-spawned against hardware-triggered
+// pre-execution (the paper's central hybrid argument).
+func BenchmarkHybridClaim(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Hybrid()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = harness.RenderHybrid(rows)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblations runs the design-choice ablation studies (prefetch
+// range, extraction bandwidth, trigger occupancy, p-thread priority) on
+// the default three-kernel set.
+func BenchmarkAblations(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = harness.RunAblations(harness.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkCompileSuite times the SPEAR compiler pipeline (CFG + two
+// profiling passes + slicing + attach) on one representative kernel.
+func BenchmarkCompileSuite(b *testing.B) {
+	k, _ := workloads.ByName("mcf")
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Prepare(*k, harness.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- micro
+
+// BenchmarkCycleSimulator measures simulated instructions per second of the
+// cycle core on the mcf kernel (reported as ns/instruction).
+func BenchmarkCycleSimulator(b *testing.B) {
+	s := sharedSuite(b)
+	var prep *harness.Prepared
+	for _, p := range s.Prepared {
+		if p.Kernel.Name == "mcf" {
+			prep = p
+		}
+	}
+	if prep == nil {
+		b.Skip("mcf not prepared")
+	}
+	cfg := cpu.SPEARConfig(128, false)
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cpu.Run(prep.Ref, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.MainCommitted
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instr), "ns/instr")
+}
+
+// BenchmarkEmulator measures the functional emulator's throughput.
+func BenchmarkEmulator(b *testing.B) {
+	p, err := asm.Assemble("bench.s", `
+main:   li r1, 0
+        li r2, 1000000
+loop:   addi r1, r1, 1
+        xor r3, r3, r1
+        slli r4, r1, 2
+        add r5, r5, r4
+        blt r1, r2, loop
+        halt
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		m := emu.New(p)
+		if err := m.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		instr += m.Count
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instr), "ns/instr")
+}
+
+// BenchmarkCacheHierarchy measures the two-level cache model.
+func BenchmarkCacheHierarchy(b *testing.B) {
+	h := mem.NewTimedHierarchy(mem.DefaultHierarchy())
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = uint32(r.Intn(8 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessAt(addrs[i%len(addrs)], i%8 == 0, i%2, uint64(i))
+	}
+}
+
+// BenchmarkBranchPredictor measures the bimodal predictor.
+func BenchmarkBranchPredictor(b *testing.B) {
+	p := bpred.New(bpred.DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		pc := i & 1023
+		taken := i&7 != 0
+		p.Update(pc, taken, p.PredictBranch(pc))
+	}
+}
+
+// BenchmarkAssembler measures assembling a representative kernel.
+func BenchmarkAssembler(b *testing.B) {
+	k, _ := workloads.ByName("gzip")
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Build(workloads.Ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoryImage measures sparse-memory writes during workload build.
+func BenchmarkMemoryImage(b *testing.B) {
+	m := mem.NewMemory()
+	buf := make([]byte, 8)
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		m.WriteBytes(uint32(i*64)&0xFF_FFFF, buf)
+	}
+}

@@ -1,0 +1,133 @@
+// Command spearbench regenerates the paper's evaluation: Table 1, Figure 6,
+// Table 3, Figure 7, Figure 8, and Figure 9.
+//
+// Usage:
+//
+//	spearbench [-experiment all|table1|fig6|table3|fig7|fig8|fig9]
+//	           [-kernels mcf,art,...] [-parallel N] [-v]
+//
+// Running everything takes a few minutes; use -kernels to restrict the set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"spear/internal/harness"
+	"spear/internal/workloads"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, motivation, hybrid, ablate, or all")
+	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all fifteen)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	flag.Parse()
+
+	if err := run(*experiment, *kernels, *parallel, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "spearbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, kernels string, parallel int, verbose bool) error {
+	opts := harness.DefaultOptions()
+	opts.Parallel = parallel
+	if verbose {
+		opts.Log = os.Stderr
+	}
+	if kernels != "" {
+		for _, name := range strings.Split(kernels, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := workloads.ByName(name); !ok {
+				return fmt.Errorf("unknown kernel %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
+			}
+			opts.Kernels = append(opts.Kernels, name)
+		}
+	}
+	suite, err := harness.NewSuite(opts)
+	if err != nil {
+		return err
+	}
+	out := io.Writer(os.Stdout)
+
+	want := func(name string) bool { return experiment == "all" || experiment == name }
+	ran := false
+
+	if want("table1") {
+		fmt.Fprintln(out, harness.RenderTable1(suite.Table1()))
+		ran = true
+	}
+	if want("fig6") {
+		rows, err := suite.Figure6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFigure6(rows))
+		ran = true
+	}
+	if want("table3") {
+		rows, err := suite.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderTable3(rows))
+		ran = true
+	}
+	if want("fig7") {
+		rows, err := suite.Figure7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFigure7(rows))
+		ran = true
+	}
+	if want("fig8") {
+		rows, err := suite.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFigure8(rows))
+		ran = true
+	}
+	if experiment == "motivation" {
+		rows, err := suite.Motivation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderMotivation(rows))
+		ran = true
+	}
+	if experiment == "hybrid" {
+		rows, err := suite.Hybrid()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderHybrid(rows))
+		ran = true
+	}
+	if experiment == "ablate" {
+		out2, err := harness.RunAblations(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, out2)
+		ran = true
+	}
+	if want("fig9") {
+		series, err := suite.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFigure9(series))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command speardump disassembles a SPEAR binary: the text segment with
+// labels, the data layout, and the attached p-thread table with member
+// instructions highlighted — the closest thing to objdump for SPISA.
+//
+// Usage:
+//
+//	speardump -bin mcf.spear
+//	speardump -workload mcf          # assemble + compile, then dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"spear/internal/harness"
+	"spear/internal/prog"
+	"spear/internal/workloads"
+)
+
+func main() {
+	bin := flag.String("bin", "", "SPEAR binary to dump")
+	workload := flag.String("workload", "", "named workload to compile and dump")
+	flag.Parse()
+	if err := run(*bin, *workload); err != nil {
+		fmt.Fprintln(os.Stderr, "speardump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bin, workload string) error {
+	var p *prog.Program
+	switch {
+	case bin != "" && workload == "":
+		f, err := os.Open(bin)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if p, err = prog.ReadFrom(f); err != nil {
+			return err
+		}
+	case workload != "" && bin == "":
+		k, ok := workloads.ByName(workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", workload)
+		}
+		prep, err := harness.Prepare(*k, harness.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		p = prep.Ref
+	default:
+		return fmt.Errorf("exactly one of -bin or -workload is required")
+	}
+
+	fmt.Printf("%s: %d instructions, entry %d, %d data chunk(s), %d p-thread(s)\n\n",
+		p.Name, len(p.Text), p.Entry, len(p.Data), len(p.PThreads))
+
+	// Label and membership indices.
+	labels := map[int][]string{}
+	for name, pc := range p.Labels {
+		labels[pc] = append(labels[pc], name)
+	}
+	for pc := range labels {
+		sort.Strings(labels[pc])
+	}
+	member := map[int]bool{}
+	dload := map[int]bool{}
+	for _, pt := range p.PThreads {
+		dload[pt.DLoad] = true
+		for _, m := range pt.Members {
+			member[m] = true
+		}
+	}
+
+	fmt.Println(".text")
+	for pc, in := range p.Text {
+		for _, l := range labels[pc] {
+			fmt.Printf("%s:\n", l)
+		}
+		tag := "   "
+		switch {
+		case dload[pc]:
+			tag = " D " // delinquent load
+		case member[pc]:
+			tag = " p " // p-thread member
+		}
+		fmt.Printf("  %4d %s %v\n", pc, tag, in)
+	}
+
+	if len(p.Symbols) > 0 {
+		fmt.Println("\n.data")
+		syms := make([]string, 0, len(p.Symbols))
+		for s := range p.Symbols {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return p.Symbols[syms[i]] < p.Symbols[syms[j]] })
+		for _, s := range syms {
+			fmt.Printf("  %#010x  %s\n", p.Symbols[s], s)
+		}
+	}
+
+	for i, pt := range p.PThreads {
+		fmt.Printf("\np-thread %d: d-load @%d, region [%d,%d], %d members, d-cycle %.1f\n",
+			i, pt.DLoad, pt.RegionStart, pt.RegionEnd, pt.Size(), pt.DCycle)
+		fmt.Printf("  live-ins: %v\n", pt.LiveIns)
+	}
+	return nil
+}

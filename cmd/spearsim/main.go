@@ -1,0 +1,121 @@
+// Command spearsim runs a SPEAR binary (or a named workload) on the
+// cycle-level simulator and prints the statistics block: cycles, IPC,
+// branch behaviour, cache misses, and SPEAR activity.
+//
+// Usage:
+//
+//	spearsim -bin mcf.spear -machine SPEAR-256
+//	spearsim -workload mcf -machine baseline
+//	spearsim -workload art -machine SPEAR.sf-128 -mem-latency 200 -l2-latency 20
+//
+// Machines: baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
+// With -workload, the program is first compiled with the SPEAR compiler on
+// the training input (the baseline machine simply ignores the annotations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spear/internal/cpu"
+	"spear/internal/harness"
+	"spear/internal/prog"
+	"spear/internal/workloads"
+)
+
+func main() {
+	bin := flag.String("bin", "", "SPEAR binary to simulate")
+	workload := flag.String("workload", "", "named workload to compile and simulate")
+	machine := flag.String("machine", "baseline", "baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256")
+	memLat := flag.Int("mem-latency", 120, "memory access latency in cycles")
+	l2Lat := flag.Int("l2-latency", 12, "L2 access latency in cycles")
+	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
+	flag.Parse()
+
+	if err := run(*bin, *workload, *machine, *memLat, *l2Lat, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "spearsim:", err)
+		os.Exit(1)
+	}
+}
+
+func machineConfig(name string) (cpu.Config, error) {
+	switch name {
+	case "baseline":
+		return cpu.BaselineConfig(), nil
+	case "SPEAR-128":
+		return cpu.SPEARConfig(128, false), nil
+	case "SPEAR-256":
+		return cpu.SPEARConfig(256, false), nil
+	case "SPEAR.sf-128":
+		return cpu.SPEARConfig(128, true), nil
+	case "SPEAR.sf-256":
+		return cpu.SPEARConfig(256, true), nil
+	}
+	return cpu.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func run(bin, workload, machine string, memLat, l2Lat int, trace uint64) error {
+	if (bin == "") == (workload == "") {
+		return fmt.Errorf("exactly one of -bin or -workload is required")
+	}
+	cfg, err := machineConfig(machine)
+	if err != nil {
+		return err
+	}
+	cfg.Hierarchy = cfg.Hierarchy.WithLatencies(l2Lat, memLat)
+	if trace > 0 {
+		cfg.Trace = os.Stdout
+		cfg.TraceCycles = trace
+	}
+
+	var p *prog.Program
+	switch {
+	case bin != "":
+		f, err := os.Open(bin)
+		if err != nil {
+			return err
+		}
+		p, err = prog.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		k, ok := workloads.ByName(workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", workload)
+		}
+		prep, err := harness.Prepare(*k, harness.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		p = prep.Ref
+	}
+
+	res, err := cpu.Run(p, cfg)
+	if err != nil {
+		return err
+	}
+	printResult(p, res)
+	return nil
+}
+
+func printResult(p *prog.Program, r *cpu.Result) {
+	fmt.Printf("program            %s (%d static instructions, %d p-threads)\n", p.Name, len(p.Text), len(p.PThreads))
+	fmt.Printf("machine            %s\n", r.Config)
+	fmt.Printf("cycles             %d\n", r.Cycles)
+	fmt.Printf("instructions       %d (main thread)\n", r.MainCommitted)
+	fmt.Printf("IPC                %.4f\n", r.IPC)
+	fmt.Printf("cond branches      %d (hit ratio %.4f, IPB %.2f)\n", r.CondBranches, r.BranchRatio, r.IPB)
+	fmt.Printf("avg IFQ occupancy  %.1f entries\n", r.AvgIFQOccupancy)
+	fmt.Printf("L1D misses         main %d, p-thread %d (accesses %d / %d)\n",
+		r.L1D.Misses[0], r.L1D.Misses[1], r.L1D.Accesses[0], r.L1D.Accesses[1])
+	fmt.Printf("L2 misses          main %d, p-thread %d\n", r.L2.Misses[0], r.L2.Misses[1])
+	if r.Triggers > 0 || r.Extracted > 0 {
+		fmt.Printf("triggers           %d (%d sessions completed, %d killed by flushes)\n",
+			r.Triggers, r.SessionsDone, r.SessionsKilled)
+		fmt.Printf("p-thread activity  %d extracted, %d committed, %d prefetch loads, %d live-in copies\n",
+			r.Extracted, r.PCommitted, r.PrefetchLoads, r.LiveInCopies)
+	}
+}

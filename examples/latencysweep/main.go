@@ -1,0 +1,59 @@
+// Latencysweep reproduces the Figure 9 methodology on one kernel as a
+// library-usage example: sweep the memory latency from 40 to 200 cycles
+// (L2 from 4 to 20) and watch the baseline collapse while SPEAR degrades
+// gracefully — the latency-tolerance claim of the paper.
+//
+// Run with: go run ./examples/latencysweep [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"spear/internal/cpu"
+	"spear/internal/harness"
+	"spear/internal/workloads"
+)
+
+func main() {
+	name := "pointer"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	k, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (known: %v)", name, workloads.Names())
+	}
+	prep, err := harness.Prepare(*k, harness.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("latency tolerance of %s (IPC)\n\n", k.Name)
+	fmt.Printf("%-22s", "memory/L2 latency")
+	for _, lat := range harness.Fig9Latencies {
+		fmt.Printf("  %3d/%-2d", lat[1], lat[0])
+	}
+	fmt.Println()
+
+	machines := []cpu.Config{cpu.BaselineConfig(), cpu.SPEARConfig(128, false), cpu.SPEARConfig(256, false)}
+	for _, m := range machines {
+		fmt.Printf("%-22s", m.Name)
+		var first, last float64
+		for i, lat := range harness.Fig9Latencies {
+			cfg := m
+			cfg.Hierarchy = cfg.Hierarchy.WithLatencies(lat[0], lat[1])
+			res, err := cpu.Run(prep.Ref, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				first = res.IPC
+			}
+			last = res.IPC
+			fmt.Printf("  %6.3f", res.IPC)
+		}
+		fmt.Printf("   (loses %.1f%% at the longest latency)\n", 100*(1-last/first))
+	}
+}

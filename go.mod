@@ -1,0 +1,3 @@
+module spear
+
+go 1.22

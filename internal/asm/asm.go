@@ -1,0 +1,601 @@
+// Package asm implements a two-pass assembler for SPISA.
+//
+// The assembler turns textual assembly into a prog.Program. It supports
+// labels, a .data/.text section model, the usual data directives, and a
+// small set of pseudo-instructions (li, la, mv, b, beqz, bnez, call, ret)
+// that each expand to exactly one SPISA instruction.
+//
+// Comments start with '#' or ';'. A label definition is `name:` and may
+// share a line with an instruction or directive. Branch and jump targets
+// are labels (or absolute instruction indices). Memory operands are
+// written `disp(reg)` where disp may be a number or a data symbol.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+// DataBase is the default start address of the .data section.
+const DataBase uint32 = 0x0010_0000
+
+// Error describes an assembly failure with its source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type stmt struct {
+	line  int
+	mnem  string
+	args  []string
+	index int // instruction index (text) filled in pass 1
+}
+
+type assembler struct {
+	file    string
+	labels  map[string]int    // text labels
+	symbols map[string]uint32 // data symbols
+	stmts   []stmt
+	data    []byte
+	dataOrg uint32
+}
+
+// Assemble assembles source into a program named name.
+func Assemble(name, source string) (*prog.Program, error) {
+	a := &assembler{
+		file:    name,
+		labels:  map[string]int{},
+		symbols: map[string]uint32{},
+		dataOrg: DataBase,
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	p := &prog.Program{
+		Name:    name,
+		Symbols: a.symbols,
+		Labels:  a.labels,
+	}
+	text, err := a.pass2()
+	if err != nil {
+		return nil, err
+	}
+	p.Text = text
+	if len(a.data) > 0 {
+		p.Data = []prog.DataChunk{{Addr: DataBase, Bytes: a.data}}
+	}
+	if e, ok := a.labels["main"]; ok {
+		p.Entry = e
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass1 tokenizes, records label positions, and collects data bytes.
+func (a *assembler) pass1(source string) error {
+	sec := secText
+	index := 0
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Peel off any leading label definitions.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				break
+			}
+			if sec == secText {
+				if _, dup := a.labels[label]; dup {
+					return a.errf(lineNo+1, "duplicate label %q", label)
+				}
+				a.labels[label] = index
+			} else {
+				if _, dup := a.symbols[label]; dup {
+					return a.errf(lineNo+1, "duplicate symbol %q", label)
+				}
+				a.symbols[label] = a.dataOrg + uint32(len(a.data))
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest := splitMnemonic(line)
+		args := splitArgs(rest)
+		if strings.HasPrefix(mnem, ".") {
+			var err error
+			sec, err = a.directive(lineNo+1, sec, mnem, args, &index)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if sec != secText {
+			return a.errf(lineNo+1, "instruction %q in .data section", mnem)
+		}
+		a.stmts = append(a.stmts, stmt{line: lineNo + 1, mnem: mnem, args: args, index: index})
+		index++
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, sec section, mnem string, args []string, index *int) (section, error) {
+	switch mnem {
+	case ".text":
+		return secText, nil
+	case ".data":
+		return secData, nil
+	case ".align":
+		n, err := parseInt(args, 0)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return sec, a.errf(line, ".align wants a power-of-two argument")
+		}
+		for uint32(len(a.data))%uint32(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+		return sec, nil
+	case ".space":
+		n, err := parseInt(args, 0)
+		if err != nil || n < 0 {
+			return sec, a.errf(line, ".space wants a non-negative size")
+		}
+		a.data = append(a.data, make([]byte, n)...)
+		return sec, nil
+	case ".byte", ".word", ".quad", ".double":
+		if sec != secData {
+			return sec, a.errf(line, "%s outside .data", mnem)
+		}
+		for _, s := range args {
+			if mnem == ".double" {
+				f, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return sec, a.errf(line, "bad float %q", s)
+				}
+				a.appendUint(math.Float64bits(f), 8)
+				continue
+			}
+			v, err := strconv.ParseInt(s, 0, 64)
+			if err != nil {
+				return sec, a.errf(line, "bad integer %q", s)
+			}
+			switch mnem {
+			case ".byte":
+				a.appendUint(uint64(v), 1)
+			case ".word":
+				a.appendUint(uint64(v), 4)
+			case ".quad":
+				a.appendUint(uint64(v), 8)
+			}
+		}
+		return sec, nil
+	}
+	return sec, a.errf(line, "unknown directive %q", mnem)
+}
+
+func (a *assembler) appendUint(v uint64, size int) {
+	for i := 0; i < size; i++ {
+		a.data = append(a.data, byte(v>>(8*i)))
+	}
+}
+
+// pass2 encodes every statement with labels and symbols resolved.
+func (a *assembler) pass2() ([]isa.Instruction, error) {
+	text := make([]isa.Instruction, len(a.stmts))
+	for i, s := range a.stmts {
+		in, err := a.encode(s)
+		if err != nil {
+			return nil, err
+		}
+		text[i] = in
+	}
+	return text, nil
+}
+
+func (a *assembler) encode(s stmt) (isa.Instruction, error) {
+	bad := func(format string, args ...any) (isa.Instruction, error) {
+		return isa.Instruction{}, a.errf(s.line, "%s: %s", s.mnem, fmt.Sprintf(format, args...))
+	}
+	want := func(n int) error {
+		if len(s.args) != n {
+			return a.errf(s.line, "%s: want %d operands, got %d", s.mnem, n, len(s.args))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch s.mnem {
+	case "li":
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return bad("%v", err)
+		}
+		imm, err := a.immediate(s.args[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: isa.ADDI, Rd: rd, Rs: isa.RegZero, Imm: imm}, nil
+	case "la":
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return bad("%v", err)
+		}
+		addr, ok := a.symbols[s.args[1]]
+		if !ok {
+			return bad("unknown symbol %q", s.args[1])
+		}
+		return isa.Instruction{Op: isa.ADDI, Rd: rd, Rs: isa.RegZero, Imm: int32(addr)}, nil
+	case "mv":
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, err1 := parseReg(s.args[0])
+		rs, err2 := parseReg(s.args[1])
+		if err1 != nil || err2 != nil {
+			return bad("bad register")
+		}
+		return isa.Instruction{Op: isa.ADD, Rd: rd, Rs: rs, Rt: isa.RegZero}, nil
+	case "b":
+		s.mnem = "j"
+	case "beqz", "bnez":
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rs, err := parseReg(s.args[0])
+		if err != nil {
+			return bad("%v", err)
+		}
+		tgt, err := a.target(s.args[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		op := isa.BEQ
+		if s.mnem == "bnez" {
+			op = isa.BNE
+		}
+		return isa.Instruction{Op: op, Rs: rs, Rt: isa.RegZero, Imm: tgt}, nil
+	case "call":
+		if err := want(1); err != nil {
+			return isa.Instruction{}, err
+		}
+		tgt, err := a.target(s.args[0])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: isa.JAL, Rd: isa.RegRA, Imm: tgt}, nil
+	case "ret":
+		if err := want(0); err != nil {
+			return isa.Instruction{}, err
+		}
+		return isa.Instruction{Op: isa.JR, Rs: isa.RegRA}, nil
+	}
+
+	op, ok := isa.OpByName(s.mnem)
+	if !ok {
+		return bad("unknown mnemonic")
+	}
+
+	switch op {
+	case isa.NOP, isa.HALT:
+		if err := want(0); err != nil {
+			return isa.Instruction{}, err
+		}
+		return isa.Instruction{Op: op}, nil
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FEQ, isa.FLT, isa.FLE:
+		if err := want(3); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, e1 := parseReg(s.args[0])
+		rs, e2 := parseReg(s.args[1])
+		rt, e3 := parseReg(s.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad register")
+		}
+		return isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt}, nil
+
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
+		if err := want(3); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, e1 := parseReg(s.args[0])
+		rs, e2 := parseReg(s.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad register")
+		}
+		imm, err := a.immediate(s.args[2])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Rd: rd, Rs: rs, Imm: imm}, nil
+
+	case isa.LUI:
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, e1 := parseReg(s.args[0])
+		if e1 != nil {
+			return bad("bad register")
+		}
+		imm, err := a.immediate(s.args[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Rd: rd, Imm: imm}, nil
+
+	case isa.LB, isa.LBU, isa.LH, isa.LW, isa.LD, isa.FLD:
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, e1 := parseReg(s.args[0])
+		if e1 != nil {
+			return bad("bad register")
+		}
+		base, disp, err := a.memOperand(s.args[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Rd: rd, Rs: base, Imm: disp}, nil
+
+	case isa.SB, isa.SH, isa.SW, isa.SD, isa.FSD:
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rt, e1 := parseReg(s.args[0])
+		if e1 != nil {
+			return bad("bad register")
+		}
+		base, disp, err := a.memOperand(s.args[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Rt: rt, Rs: base, Imm: disp}, nil
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		if err := want(3); err != nil {
+			return isa.Instruction{}, err
+		}
+		rs, e1 := parseReg(s.args[0])
+		rt, e2 := parseReg(s.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad register")
+		}
+		tgt, err := a.target(s.args[2])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Rs: rs, Rt: rt, Imm: tgt}, nil
+
+	case isa.J:
+		if err := want(1); err != nil {
+			return isa.Instruction{}, err
+		}
+		tgt, err := a.target(s.args[0])
+		if err != nil {
+			return bad("%v", err)
+		}
+		return isa.Instruction{Op: op, Imm: tgt}, nil
+
+	case isa.JAL:
+		switch len(s.args) {
+		case 1:
+			tgt, err := a.target(s.args[0])
+			if err != nil {
+				return bad("%v", err)
+			}
+			return isa.Instruction{Op: op, Rd: isa.RegRA, Imm: tgt}, nil
+		case 2:
+			rd, e1 := parseReg(s.args[0])
+			if e1 != nil {
+				return bad("bad register")
+			}
+			tgt, err := a.target(s.args[1])
+			if err != nil {
+				return bad("%v", err)
+			}
+			return isa.Instruction{Op: op, Rd: rd, Imm: tgt}, nil
+		}
+		return bad("want 1 or 2 operands")
+
+	case isa.JR:
+		if err := want(1); err != nil {
+			return isa.Instruction{}, err
+		}
+		rs, e1 := parseReg(s.args[0])
+		if e1 != nil {
+			return bad("bad register")
+		}
+		return isa.Instruction{Op: op, Rs: rs}, nil
+
+	case isa.JALR:
+		switch len(s.args) {
+		case 1:
+			rs, e1 := parseReg(s.args[0])
+			if e1 != nil {
+				return bad("bad register")
+			}
+			return isa.Instruction{Op: op, Rd: isa.RegRA, Rs: rs}, nil
+		case 2:
+			rd, e1 := parseReg(s.args[0])
+			rs, e2 := parseReg(s.args[1])
+			if e1 != nil || e2 != nil {
+				return bad("bad register")
+			}
+			return isa.Instruction{Op: op, Rd: rd, Rs: rs}, nil
+		}
+		return bad("want 1 or 2 operands")
+
+	case isa.FSQRT, isa.FNEG, isa.FABS, isa.FMOV, isa.CVTLD, isa.CVTDL:
+		if err := want(2); err != nil {
+			return isa.Instruction{}, err
+		}
+		rd, e1 := parseReg(s.args[0])
+		rs, e2 := parseReg(s.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad register")
+		}
+		return isa.Instruction{Op: op, Rd: rd, Rs: rs}, nil
+	}
+	return bad("unhandled opcode")
+}
+
+// immediate resolves a numeric literal or a data symbol.
+func (a *assembler) immediate(s string) (int32, error) {
+	if addr, ok := a.symbols[s]; ok {
+		return int32(addr), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// target resolves a text label or absolute instruction index.
+func (a *assembler) target(s string) (int32, error) {
+	if idx, ok := a.labels[s]; ok {
+		return int32(idx), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label %q", s)
+	}
+	return int32(v), nil
+}
+
+// memOperand parses `disp(reg)`, `(reg)`, or `sym(reg)`.
+func (a *assembler) memOperand(s string) (base isa.Reg, disp int32, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	regStr := strings.TrimSpace(s[open+1 : len(s)-1])
+	base, err = parseReg(regStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dispStr == "" {
+		return base, 0, nil
+	}
+	disp, err = a.immediate(dispStr)
+	return base, disp, err
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch s {
+	case "zero":
+		return isa.RegZero, nil
+	case "sp":
+		return isa.RegSP, nil
+	case "ra":
+		return isa.RegRA, nil
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n >= isa.NumIntRegs {
+			return 0, fmt.Errorf("integer register %q out of range", s)
+		}
+		return isa.Reg(n), nil
+	case 'f':
+		if n >= isa.NumFPRegs {
+			return 0, fmt.Errorf("fp register %q out of range", s)
+		}
+		return isa.FP0 + isa.Reg(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseInt(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument")
+	}
+	return strconv.ParseInt(args[i], 0, 64)
+}
+
+func splitMnemonic(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return strings.ToLower(line), ""
+	}
+	return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+func splitArgs(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	args := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			args = append(args, p)
+		}
+	}
+	return args
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

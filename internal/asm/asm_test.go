@@ -1,0 +1,243 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        # compute 1+2 into r3
+main:   addi r1, r0, 1
+        addi r2, r0, 2
+        add  r3, r1, r2
+        halt
+`)
+	if len(p.Text) != 4 {
+		t.Fatalf("text length = %d, want 4", len(p.Text))
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d, want 0", p.Entry)
+	}
+	want := isa.Instruction{Op: isa.ADD, Rd: 3, Rs: 1, Rt: 2}
+	if p.Text[2] != want {
+		t.Errorf("instr 2 = %v, want %v", p.Text[2], want)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi r1, r0, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        beq  r0, r0, done
+        nop
+done:   halt
+`)
+	if p.Labels["loop"] != 1 {
+		t.Errorf("loop label = %d, want 1", p.Labels["loop"])
+	}
+	if got := p.Text[2].Imm; got != 1 {
+		t.Errorf("bne target = %d, want 1", got)
+	}
+	if got := p.Text[3].Imm; got != 5 {
+		t.Errorf("beq target = %d, want 5", got)
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+bytes:  .byte 1, 2, 3
+        .align 8
+vals:   .quad 0x1122334455667788
+pi:     .double 3.5
+words:  .word -1, 7
+buf:    .space 16
+        .text
+main:   la r1, vals
+        ld r2, 0(r1)
+        lw r3, words(r0)
+        halt
+`)
+	if p.Symbols["bytes"] != DataBase {
+		t.Errorf("bytes @ %#x, want %#x", p.Symbols["bytes"], DataBase)
+	}
+	if p.Symbols["vals"] != DataBase+8 {
+		t.Errorf("vals @ %#x, want aligned %#x", p.Symbols["vals"], DataBase+8)
+	}
+	if p.Symbols["pi"] != DataBase+16 {
+		t.Errorf("pi @ %#x", p.Symbols["pi"])
+	}
+	if p.Symbols["buf"] != DataBase+32 {
+		t.Errorf("buf @ %#x", p.Symbols["buf"])
+	}
+	if len(p.Data) != 1 || len(p.Data[0].Bytes) != 48 {
+		t.Fatalf("data image wrong: %d chunks", len(p.Data))
+	}
+	d := p.Data[0].Bytes
+	if d[0] != 1 || d[1] != 2 || d[2] != 3 {
+		t.Error(".byte values wrong")
+	}
+	if d[8] != 0x88 || d[15] != 0x11 {
+		t.Error(".quad little-endian layout wrong")
+	}
+	// la expands to addi rd, r0, addr
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Imm != int32(DataBase+8) {
+		t.Errorf("la expansion wrong: %v", p.Text[0])
+	}
+	// symbol as displacement
+	if p.Text[2].Imm != int32(DataBase+24) {
+		t.Errorf("symbol displacement = %d", p.Text[2].Imm)
+	}
+}
+
+func TestAssemblePseudos(t *testing.T) {
+	p := mustAssemble(t, `
+main:   li   r1, -42
+        mv   r2, r1
+        beqz r2, end
+        bnez r2, end
+        call f
+        b    end
+f:      ret
+end:    halt
+`)
+	checks := []struct {
+		i    int
+		want isa.Instruction
+	}{
+		{0, isa.Instruction{Op: isa.ADDI, Rd: 1, Rs: 0, Imm: -42}},
+		{1, isa.Instruction{Op: isa.ADD, Rd: 2, Rs: 1, Rt: 0}},
+		{2, isa.Instruction{Op: isa.BEQ, Rs: 2, Rt: 0, Imm: 7}},
+		{3, isa.Instruction{Op: isa.BNE, Rs: 2, Rt: 0, Imm: 7}},
+		{4, isa.Instruction{Op: isa.JAL, Rd: isa.RegRA, Imm: 6}},
+		{5, isa.Instruction{Op: isa.J, Imm: 7}},
+		{6, isa.Instruction{Op: isa.JR, Rs: isa.RegRA}},
+	}
+	for _, c := range checks {
+		if p.Text[c.i] != c.want {
+			t.Errorf("instr %d = %v, want %v", c.i, p.Text[c.i], c.want)
+		}
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	p := mustAssemble(t, `
+main:   addi sp, sp, -16
+        sd   ra, 0(sp)
+        add  r1, zero, sp
+        halt
+`)
+	if p.Text[0].Rd != isa.RegSP || p.Text[0].Rs != isa.RegSP {
+		t.Error("sp alias wrong")
+	}
+	if p.Text[1].Rt != isa.RegRA {
+		t.Error("ra alias wrong")
+	}
+	if p.Text[2].Rs != isa.RegZero {
+		t.Error("zero alias wrong")
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+x:      .double 2.0
+        .text
+main:   fld  f1, x(r0)
+        fadd f2, f1, f1
+        fsd  f2, x(r0)
+        cvtdl r1, f2
+        halt
+`)
+	if p.Text[0].Rd != isa.FP0+1 {
+		t.Errorf("fld dest = %v", p.Text[0].Rd)
+	}
+	if p.Text[1] != (isa.Instruction{Op: isa.FADD, Rd: isa.FP0 + 2, Rs: isa.FP0 + 1, Rt: isa.FP0 + 1}) {
+		t.Errorf("fadd = %v", p.Text[1])
+	}
+	if p.Text[3].Rd != 1 || p.Text[3].Rs != isa.FP0+2 {
+		t.Errorf("cvtdl = %v", p.Text[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main: frobnicate r1, r2\nhalt", "unknown mnemonic"},
+		{"bad register", "main: add r1, r2, r99\nhalt", "bad register"},
+		{"unknown label", "main: j nowhere\nhalt", "unknown label"},
+		{"duplicate label", "x: nop\nx: halt", "duplicate label"},
+		{"wrong operand count", "main: add r1, r2\nhalt", "want 3 operands"},
+		{"instr in data", ".data\nadd r1, r2, r3", "in .data section"},
+		{"bad directive", ".bogus 3\nmain: halt", "unknown directive"},
+		{"bad align", ".data\n.align 3\n.text\nmain: halt", ".align"},
+		{"unknown symbol", "main: la r1, nosym\nhalt", "unknown symbol"},
+		{"bad mem operand", "main: lw r1, r2\nhalt", "bad memory operand"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.s", c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("t.s", "main: nop\nnop\nbadop r1\nhalt")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "t.s:3:") {
+		t.Errorf("error %q lacks file:line prefix", err)
+	}
+}
+
+func TestAssembleEntryDefaultsToZero(t *testing.T) {
+	p := mustAssemble(t, "start: nop\nhalt")
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+}
+
+func TestAssembleJalForms(t *testing.T) {
+	p := mustAssemble(t, `
+main:   jal f
+        jal r5, f
+        jalr r6
+        jalr r7, r6
+        halt
+f:      ret
+`)
+	if p.Text[0].Rd != isa.RegRA || p.Text[0].Imm != 5 {
+		t.Errorf("jal 1-arg = %v", p.Text[0])
+	}
+	if p.Text[1].Rd != 5 {
+		t.Errorf("jal 2-arg = %v", p.Text[1])
+	}
+	if p.Text[2].Rd != isa.RegRA || p.Text[2].Rs != 6 {
+		t.Errorf("jalr 1-arg = %v", p.Text[2])
+	}
+	if p.Text[3].Rd != 7 || p.Text[3].Rs != 6 {
+		t.Errorf("jalr 2-arg = %v", p.Text[3])
+	}
+}

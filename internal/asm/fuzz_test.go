@@ -1,0 +1,84 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spear/internal/isa"
+)
+
+// FuzzAssemble: arbitrary text must either assemble into a valid program
+// or return a clean error — never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main: addi r1, r0, 1\nhalt")
+	f.Add(".data\nx: .quad 1\n.text\nmain: ld r1, x(r0)\nhalt")
+	f.Add("loop: blt r1, r2, loop")
+	f.Add(": : :")
+	f.Add(".align -1")
+	f.Add("main: lw r1, (")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.s", src)
+		if err == nil {
+			if vErr := p.Validate(); vErr != nil {
+				t.Fatalf("assembled program fails validation: %v", vErr)
+			}
+		}
+	})
+}
+
+// TestAssembleRandomGarbageNeverPanics drives the fuzz property from the
+// regular test suite with a deterministic generator.
+func TestAssembleRandomGarbageNeverPanics(t *testing.T) {
+	pieces := []string{
+		"main:", "loop:", "add", "addi", "ld", "sd", "beq", "j", "jal",
+		"r1", "r2", "r31", "f0", "zero", ",", "(", ")", "0x10", "-5",
+		".data", ".text", ".quad", ".space", ".align", "#comment", "\n", "\t",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < 60; i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			if r.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+			if r.Intn(6) == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		p, err := Assemble("fuzz.s", b.String())
+		return err != nil || p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAssembleDisassembleStable: assembling, printing each instruction, and
+// checking the mnemonic resolves back to the same opcode.
+func TestAssembleDisassembleStable(t *testing.T) {
+	p, err := Assemble("t.s", `
+        .data
+v:      .quad 7
+        .text
+main:   addi r1, r0, 4
+        ld   r2, v(r0)
+        fadd f1, f2, f3
+        beq  r1, r2, main
+        jal  main
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range p.Text {
+		mnem := strings.Fields(in.String())[0]
+		op, ok := isa.OpByName(mnem)
+		if !ok || op != in.Op {
+			t.Errorf("disassembly %q does not round-trip to %v", in.String(), in.Op)
+		}
+	}
+}

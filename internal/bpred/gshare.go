@@ -1,0 +1,50 @@
+package bpred
+
+// Gshare support: an optional two-level predictor (global history XORed
+// into the PC index). The paper evaluates only the bimodal predictor of
+// Table 2, but its Table 3 analysis attributes SPEAR's losses to branch
+// prediction quality — the gshare option lets the harness ask how much of
+// that loss a stronger predictor recovers (see the ablation studies).
+
+// Kind selects the direction predictor algorithm.
+type Kind int
+
+const (
+	// Bimodal is the paper's predictor (per-PC 2-bit counters).
+	Bimodal Kind = iota
+	// Gshare XORs a global history register into the table index.
+	Gshare
+)
+
+func (k Kind) String() string {
+	if k == Gshare {
+		return "gshare"
+	}
+	return "bimodal"
+}
+
+// WithKind returns a copy of the config using the given predictor kind.
+func (c Config) WithKind(k Kind) Config {
+	c.Kind = k
+	return c
+}
+
+// history returns the index for pc under the configured kind.
+func (p *Predictor) index(pc int) int {
+	idx := pc
+	if p.cfg.Kind == Gshare {
+		idx ^= int(p.ghr)
+	}
+	return idx & (p.cfg.TableSize - 1)
+}
+
+// noteOutcome advances the global history (gshare only).
+func (p *Predictor) noteOutcome(taken bool) {
+	if p.cfg.Kind != Gshare {
+		return
+	}
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}

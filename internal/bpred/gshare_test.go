@@ -1,0 +1,63 @@
+package bpred
+
+import "testing"
+
+// train runs a repeating direction pattern through the predictor and
+// returns the hit ratio over the last half of the run (after warm-up).
+func train(p *Predictor, pattern []bool, n int) float64 {
+	var lookups, correct int
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		pred := p.PredictBranch(42)
+		p.Update(42, taken, pred)
+		if i >= n/2 {
+			lookups++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(lookups)
+}
+
+// TestGshareLearnsHistoryPattern: a strictly alternating branch defeats a
+// bimodal counter (~50 % at best) but is perfectly predictable from one
+// bit of global history.
+func TestGshareLearnsHistoryPattern(t *testing.T) {
+	pattern := []bool{true, false}
+	bi := New(DefaultConfig())
+	gs := New(DefaultConfig().WithKind(Gshare))
+	biHit := train(bi, pattern, 4000)
+	gsHit := train(gs, pattern, 4000)
+	if gsHit < 0.95 {
+		t.Errorf("gshare hit ratio %.3f on an alternating branch; want ~1.0", gsHit)
+	}
+	if biHit > 0.6 {
+		t.Errorf("bimodal hit ratio %.3f on an alternating branch; want ~0.5", biHit)
+	}
+}
+
+// TestGshareMatchesBimodalOnBias: on a steady bias both predictors converge.
+func TestGshareMatchesBimodalOnBias(t *testing.T) {
+	pattern := []bool{true}
+	gs := New(DefaultConfig().WithKind(Gshare))
+	if hit := train(gs, pattern, 2000); hit < 0.99 {
+		t.Errorf("gshare on an always-taken branch: %.3f", hit)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Bimodal.String() != "bimodal" || Gshare.String() != "gshare" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestWithKind(t *testing.T) {
+	c := DefaultConfig().WithKind(Gshare)
+	if c.Kind != Gshare {
+		t.Error("WithKind did not set the kind")
+	}
+	if DefaultConfig().Kind != Bimodal {
+		t.Error("default kind must be the paper's bimodal")
+	}
+}

@@ -1,0 +1,176 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+// randomProgram generates a structurally valid control-flow-heavy program:
+// a mix of ALU instructions and forward/backward branches, ending in HALT.
+func randomProgram(r *rand.Rand, n int) *prog.Program {
+	text := make([]isa.Instruction, n)
+	for i := range text {
+		switch r.Intn(5) {
+		case 0:
+			text[i] = isa.Instruction{Op: isa.BEQ, Rs: 1, Rt: 2, Imm: int32(r.Intn(n))}
+		case 1:
+			text[i] = isa.Instruction{Op: isa.J, Imm: int32(r.Intn(n))}
+		default:
+			text[i] = isa.Instruction{Op: isa.ADDI, Rd: isa.Reg(1 + r.Intn(8)), Rs: 1, Imm: int32(r.Intn(100))}
+		}
+	}
+	text[n-1] = isa.Instruction{Op: isa.HALT}
+	return &prog.Program{
+		Name:    "random",
+		Text:    text,
+		Symbols: map[string]uint32{},
+		Labels:  map[string]int{},
+	}
+}
+
+// bruteDominates computes dominance by brute force: a dominates b iff
+// removing a disconnects b from the entry.
+func bruteDominates(g *Graph, a, b, entry int) bool {
+	if a == b {
+		return true
+	}
+	seen := map[int]bool{a: true} // block a is "removed"
+	stack := []int{entry}
+	if entry == a {
+		return true // everything reachable is dominated by the entry
+	}
+	seen[entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return false // reached b without passing through a
+		}
+		for _, s := range g.Blocks[n].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true // b unreachable without a
+}
+
+// reachable returns the blocks reachable from the entry.
+func reachable(g *Graph, entry int) map[int]bool {
+	seen := map[int]bool{entry: true}
+	stack := []int{entry}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[n].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// TestDominatorsMatchBruteForce cross-checks the iterative dominator
+// algorithm against the removal-based definition on random CFGs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProgram(r, 24+r.Intn(40))
+		g, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry := g.BlockOf[p.Entry]
+		reach := reachable(g, entry)
+		// These random programs have no calls, so everything reachable
+		// is one function rooted at the entry.
+		for a := range reach {
+			for b := range reach {
+				got := g.Dominates(a, b)
+				want := bruteDominates(g, a, b, entry)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute force says %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopsContainTheirBackEdges: every loop's blocks must be able to reach
+// the header without leaving the loop (natural-loop property).
+func TestLoopsContainTheirBackEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProgram(r, 24+r.Intn(40))
+		g, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range g.Loops {
+			if !l.Blocks[l.Header] {
+				t.Fatalf("loop %d does not contain its own header", l.ID)
+			}
+			// Closure invariant of natural-loop construction: every
+			// predecessor of a non-header member is in the loop. (Header
+			// dominance over all members only holds for reducible
+			// graphs; random programs can be irreducible.)
+			for b := range l.Blocks {
+				if b == l.Header {
+					continue
+				}
+				for _, p := range g.Blocks[b].Preds {
+					if !l.Blocks[p] {
+						t.Fatalf("loop %d: member %d has predecessor %d outside the loop", l.ID, b, p)
+					}
+				}
+			}
+			// The loop must contain at least one back edge to the header.
+			found := false
+			for b := range l.Blocks {
+				for _, s := range g.Blocks[b].Succs {
+					if s == l.Header && g.Dominates(l.Header, b) {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("loop %d has no dominated back edge", l.ID)
+			}
+		}
+	}
+}
+
+// TestLoopNestingIsConsistent: a loop's parent strictly contains it.
+func TestLoopNestingIsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		p := randomProgram(r, 30+r.Intn(30))
+		g, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range g.Loops {
+			if l.Parent == -1 {
+				continue
+			}
+			parent := g.Loops[l.Parent]
+			if len(parent.Blocks) <= len(l.Blocks) {
+				t.Fatalf("parent loop %d not larger than child %d", parent.ID, l.ID)
+			}
+			for b := range l.Blocks {
+				if !parent.Blocks[b] {
+					t.Fatalf("child loop %d block %d not in parent %d", l.ID, b, parent.ID)
+				}
+			}
+			if parent.Depth != l.Depth-1 {
+				t.Fatalf("depth inconsistency: child %d parent %d", l.Depth, parent.Depth)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package cpu implements the cycle-level out-of-order SMT core of the
+// SPEAR paper: an 8-wide superscalar with a Register Update Unit (RUU),
+// an Instruction Fetch Queue (IFQ) front end, a bimodal branch predictor,
+// and the SPEAR additions — the P-thread Table (PT), pre-decode d-load
+// detection (PD), the p-thread extractor (PE), trigger logic with live-in
+// copying, and a second hardware context that runs the p-thread with issue
+// priority. The baseline superscalar of the paper's evaluation is the same
+// core with SPEAR disabled.
+//
+// The simulator is execution-driven on the main thread's correct path (a
+// functional oracle steps at fetch), with wrong-path fetch modelled by
+// walking the static code along the predictor's chosen path until the
+// mispredicted branch resolves. P-thread instructions are evaluated
+// functionally at extraction on the p-thread's private register file and
+// scheduled through the shared (or dedicated, in .sf mode) function units.
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"spear/internal/bpred"
+	"spear/internal/mem"
+)
+
+// Config describes one machine configuration (Table 2 plus SPEAR knobs).
+type Config struct {
+	Name string
+
+	FetchWidth  int // instructions fetched into the IFQ per cycle
+	DecodeWidth int // decode/dispatch slots per cycle (shared with the PE)
+	IssueWidth  int
+	CommitWidth int
+
+	IFQSize  int // 128 or 256 in the paper
+	RUUSize  int // main-thread RUU entries (128 in the paper)
+	PRUUSize int // p-thread context RUU entries
+	LSQSize  int // load/store queue entries per thread
+
+	IntALU    int
+	IntMulDiv int
+	FPALU     int
+	FPMulDiv  int
+	MemPorts  int
+
+	// MispredictPenalty is the fetch-redirect bubble after a branch
+	// resolves mispredicted (on top of the pipeline refill itself).
+	MispredictPenalty int
+
+	Hierarchy mem.HierarchyConfig
+	Predictor bpred.Config
+
+	// SPEAR enables the p-thread front end. With it off the PT is never
+	// consulted and the machine is the baseline superscalar.
+	SPEAR bool
+	// SoftwareTrigger models the *static* pre-execution approach SPEAR
+	// argues against (Section 2.3): every trigger requires software
+	// intervention — finding a free context, assigning it, copying
+	// live-ins with ordinary instructions — which stalls the main
+	// thread's dispatch for SpawnOverhead cycles. SPEAR's contribution
+	// is doing all of that in hardware for free.
+	SoftwareTrigger bool
+	// SpawnOverhead is the main-thread dispatch stall per software
+	// trigger (cycles).
+	SpawnOverhead int
+	// StridePrefetch adds a PC-indexed stride prefetcher at the L1D (the
+	// conventional technique the paper's introduction argues against).
+	// Orthogonal to SPEAR; used by the motivation experiment.
+	StridePrefetch bool
+	// StrideDegree is how many strides ahead the prefetcher runs.
+	StrideDegree int
+	// SeparateFUs gives the p-thread context private copies of every
+	// ALU pool (the paper's .sf models); memory ports stay shared.
+	SeparateFUs bool
+	// ExtractWidth is the PE extraction bandwidth (issue width / 2).
+	ExtractWidth int
+	// ScanWidth is how many IFQ entries the PE can scan per cycle while
+	// hunting for marked instructions.
+	ScanWidth int
+	// TriggerDrainCycles models the wait for the decode stage to drain
+	// to a deterministic state before live-ins are copied.
+	TriggerDrainCycles int
+	// TriggerFraction is the IFQ occupancy (as a fraction of IFQSize)
+	// required for a d-load detection to arm a trigger. The paper
+	// empirically uses one half.
+	TriggerFraction float64
+	// PThreadPriority gives p-thread instructions scheduling priority at
+	// issue (Section 3.3). Disabling it is an ablation knob.
+	PThreadPriority bool
+
+	// MaxCycles aborts a run that stopped making progress.
+	MaxCycles uint64
+
+	// Trace, when non-nil, receives a per-event pipeline trace for the
+	// first TraceCycles cycles (see internal/cpu/trace.go).
+	Trace       io.Writer
+	TraceCycles uint64
+}
+
+// BaselineConfig returns the paper's baseline superscalar (Table 2).
+func BaselineConfig() Config {
+	return Config{
+		Name:               "baseline",
+		FetchWidth:         8,
+		DecodeWidth:        8,
+		IssueWidth:         8,
+		CommitWidth:        8,
+		IFQSize:            128,
+		RUUSize:            128,
+		PRUUSize:           128,
+		LSQSize:            64,
+		IntALU:             4,
+		IntMulDiv:          1,
+		FPALU:              4,
+		FPMulDiv:           1,
+		MemPorts:           2,
+		MispredictPenalty:  3,
+		Hierarchy:          mem.DefaultHierarchy(),
+		Predictor:          bpred.DefaultConfig(),
+		SPEAR:              false,
+		ExtractWidth:       4,
+		ScanWidth:          32,
+		TriggerDrainCycles: 2,
+		TriggerFraction:    0.5,
+		PThreadPriority:    true,
+		SpawnOverhead:      24,
+		StrideDegree:       2,
+		MaxCycles:          2_000_000_000,
+	}
+}
+
+// SoftwareTriggerConfig returns a SPEAR machine whose triggers are spawned
+// by software (the static approach's overhead model).
+func SoftwareTriggerConfig(ifqSize int) Config {
+	c := SPEARConfig(ifqSize, false)
+	c.SoftwareTrigger = true
+	c.Name = fmt.Sprintf("SW-trigger-%d", ifqSize)
+	return c
+}
+
+// StrideConfig returns the baseline superscalar augmented with the
+// conventional stride prefetcher.
+func StrideConfig(degree int) Config {
+	c := BaselineConfig()
+	c.StridePrefetch = true
+	c.StrideDegree = degree
+	c.Name = fmt.Sprintf("stride-%d", degree)
+	return c
+}
+
+// SPEARConfig returns a SPEAR machine with the given IFQ size and
+// (optionally) separate functional units, named like the paper's models:
+// SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
+func SPEARConfig(ifqSize int, separateFUs bool) Config {
+	c := BaselineConfig()
+	c.SPEAR = true
+	c.IFQSize = ifqSize
+	c.SeparateFUs = separateFUs
+	if separateFUs {
+		c.Name = fmt.Sprintf("SPEAR.sf-%d", ifqSize)
+	} else {
+		c.Name = fmt.Sprintf("SPEAR-%d", ifqSize)
+	}
+	return c
+}
+
+// Validate rejects configurations the pipeline cannot run.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("cpu %s: widths must be positive", c.Name)
+	case c.IFQSize <= 1:
+		return fmt.Errorf("cpu %s: IFQ size %d too small", c.Name, c.IFQSize)
+	case c.RUUSize <= 0 || c.PRUUSize <= 0 || c.LSQSize <= 0:
+		return fmt.Errorf("cpu %s: queue sizes must be positive", c.Name)
+	case c.IntALU <= 0 || c.FPALU <= 0 || c.IntMulDiv <= 0 || c.FPMulDiv <= 0 || c.MemPorts <= 0:
+		return fmt.Errorf("cpu %s: functional unit counts must be positive", c.Name)
+	case c.SPEAR && (c.ExtractWidth <= 0 || c.ScanWidth <= 0):
+		return fmt.Errorf("cpu %s: SPEAR extraction widths must be positive", c.Name)
+	case c.SPEAR && (c.TriggerFraction <= 0 || c.TriggerFraction > 1):
+		return fmt.Errorf("cpu %s: trigger fraction %v out of (0,1]", c.Name, c.TriggerFraction)
+	case c.StridePrefetch && c.StrideDegree <= 0:
+		return fmt.Errorf("cpu %s: stride degree must be positive", c.Name)
+	case c.SoftwareTrigger && c.SpawnOverhead <= 0:
+		return fmt.Errorf("cpu %s: software spawn overhead must be positive", c.Name)
+	case c.MaxCycles == 0:
+		return fmt.Errorf("cpu %s: MaxCycles must be positive", c.Name)
+	}
+	return nil
+}
+
+// Result collects the statistics of one simulation.
+type Result struct {
+	Config string
+	Cycles uint64
+
+	// AvgIFQOccupancy is the mean number of valid IFQ entries per cycle —
+	// the quantity the trigger condition tests against.
+	AvgIFQOccupancy float64
+
+	MainCommitted uint64 // main-thread instructions retired
+	PCommitted    uint64 // p-thread instructions retired
+	IPC           float64
+
+	CondBranches uint64 // committed conditional branches (main thread)
+	BranchHits   uint64 // correctly predicted conditional branches
+	Mispredicts  uint64
+	BranchRatio  float64 // BranchHits / CondBranches
+	IPB          float64 // instructions per (conditional) branch
+
+	L1D mem.CacheStats
+	L2  mem.CacheStats
+
+	// SPEAR activity.
+	Triggers       uint64 // trigger sessions armed
+	SessionsDone   uint64 // sessions that ran to d-load extraction
+	SessionsKilled uint64 // sessions destroyed by an IFQ flush
+	Extracted      uint64 // p-thread instructions extracted
+	LiveInCopies   uint64
+	PrefetchLoads  uint64 // p-thread loads that accessed the hierarchy
+
+	// StridePrefetches counts prefetches issued by the optional stride
+	// prefetcher (charged to the helper slot of the cache statistics).
+	StridePrefetches uint64
+}
+
+func (r *Result) finalize() {
+	if r.Cycles > 0 {
+		r.IPC = float64(r.MainCommitted) / float64(r.Cycles)
+	}
+	if r.CondBranches > 0 {
+		r.BranchRatio = float64(r.BranchHits) / float64(r.CondBranches)
+		r.IPB = float64(r.MainCommitted) / float64(r.CondBranches)
+	} else {
+		r.BranchRatio = 1
+	}
+}
+
+// MainL1Misses returns the main thread's demand D-L1 misses (Figure 8's
+// metric).
+func (r *Result) MainL1Misses() uint64 { return r.L1D.Misses[0] }

@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"testing"
+
+	"spear/internal/bpred"
+)
+
+// Pipeline-level tests: store forwarding, indirect-branch prediction paths,
+// FU pool accounting, and predictor variants.
+
+func TestStoreForwardingFasterThanMemory(t *testing.T) {
+	// A load that reads a just-stored dword must not pay the memory
+	// latency: compare against a variant whose load hits a cold address.
+	forward := assemble(t, `
+        .data
+buf:    .space 800000
+        .text
+main:   li r1, 0
+        li r2, 50000
+        la r3, buf
+loop:   slli r4, r1, 3
+        andi r4, r4, 0x7FFF8
+        add r5, r3, r4
+        sd r1, 0(r5)
+        ld r6, 0(r5)          # forwarded from the store above
+        add r7, r7, r6
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`)
+	res := runBoth(t, forward, fastConfig())
+	// With forwarding the loads are ~1 cycle; a memory-bound version of
+	// this loop would run far above 3 cycles per instruction.
+	cpi := float64(res.Cycles) / float64(res.MainCommitted)
+	if cpi > 2.0 {
+		t.Errorf("CPI %.2f suggests store forwarding is not working", cpi)
+	}
+}
+
+func TestIndirectCallReturnPrediction(t *testing.T) {
+	// Call-heavy code exercises JAL/JR and the return-address stack; the
+	// RAS should keep this essentially penalty-free.
+	p := assemble(t, `
+main:   li r4, 20000
+loop:   call f
+        addi r4, r4, -1
+        bnez r4, loop
+        halt
+f:      addi r2, r2, 1
+        add r3, r3, r2
+        ret
+`)
+	res := runBoth(t, p, fastConfig())
+	if res.IPC < 1.5 {
+		t.Errorf("call/return loop IPC = %.2f; RAS prediction seems broken", res.IPC)
+	}
+}
+
+func TestJALRThroughBTB(t *testing.T) {
+	// An indirect call through a register: the BTB learns the stable
+	// target after the first encounter.
+	p := assemble(t, `
+main:   li r4, 10000
+        li r5, 6            # address of f
+loop:   jalr r5
+        addi r4, r4, -1
+        bnez r4, loop
+        halt
+f:      addi r2, r2, 1
+        ret
+`)
+	if f := p.Labels["f"]; f != 6 {
+		t.Fatalf("fixture drift: f is at %d, update the li above", f)
+	}
+	res := runBoth(t, p, fastConfig())
+	if res.IPC < 1.0 {
+		t.Errorf("indirect-call loop IPC = %.2f; BTB prediction seems broken", res.IPC)
+	}
+}
+
+func TestGsharePredictorRuns(t *testing.T) {
+	p := assemble(t, corePrograms["data-dependent branches"])
+	cfg := fastConfig()
+	cfg.Predictor = cfg.Predictor.WithKind(bpred.Gshare)
+	runBoth(t, p, cfg)
+}
+
+func TestSeparateFUPoolsAreDistinct(t *testing.T) {
+	// Unit-level check of the FU accounting: with SeparateFUs the
+	// p-thread pool is independent of the main pool.
+	cfg := SPEARConfig(128, true)
+	s := &sim{cfg: cfg}
+	for i := 0; i < cfg.IntALU; i++ {
+		if !s.takeFU(tidMain, 1 /* ClassIntALU */) {
+			t.Fatal("main pool exhausted early")
+		}
+	}
+	if s.takeFU(tidMain, 1) {
+		t.Error("main pool over-allocated")
+	}
+	if !s.takeFU(tidP, 1) {
+		t.Error("p-thread pool should be independent in .sf mode")
+	}
+
+	// Shared mode: one pool for both threads.
+	s2 := &sim{cfg: SPEARConfig(128, false)}
+	for i := 0; i < cfg.IntALU; i++ {
+		s2.takeFU(tidMain, 1)
+	}
+	if s2.takeFU(tidP, 1) {
+		t.Error("shared pool should be exhausted for the p-thread too")
+	}
+}
+
+func TestMemPortsAlwaysShared(t *testing.T) {
+	for _, sf := range []bool{false, true} {
+		cfg := SPEARConfig(128, sf)
+		s := &sim{cfg: cfg}
+		for i := 0; i < cfg.MemPorts; i++ {
+			if !s.takeFU(tidMain, 5 /* ClassLoad */) {
+				t.Fatal("port exhausted early")
+			}
+		}
+		if s.takeFU(tidP, 5) {
+			t.Errorf("sf=%v: memory ports must be shared between contexts", sf)
+		}
+	}
+}
+
+func TestCommitWidthBoundsIPC(t *testing.T) {
+	// Even a perfectly parallel loop cannot beat the commit width.
+	p := assemble(t, `
+main:   li r1, 0
+        li r2, 100000
+loop:   addi r3, r3, 1
+        addi r4, r4, 1
+        addi r5, r5, 1
+        addi r6, r6, 1
+        addi r7, r7, 1
+        addi r8, r8, 1
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`)
+	res := runBoth(t, p, fastConfig())
+	if res.IPC > float64(fastConfig().CommitWidth) {
+		t.Errorf("IPC %.2f exceeds commit width", res.IPC)
+	}
+}
+
+func TestIFQSizeChangesNothingWithoutSPEAR(t *testing.T) {
+	// On the baseline (no p-threads) the IFQ is just a fetch buffer;
+	// doubling it must not change memory-bound performance much.
+	p := pointerishKernel(t, 21)
+	a := fastConfig()
+	b := fastConfig()
+	b.IFQSize = 256
+	ra, err := Run(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(p, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rb.Cycles) / float64(ra.Cycles)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("baseline IFQ-256/IFQ-128 cycle ratio %.3f; expected ~1.0", ratio)
+	}
+}

@@ -1,0 +1,863 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/bpred"
+	"spear/internal/emu"
+	"spear/internal/isa"
+	"spear/internal/mem"
+	"spear/internal/prog"
+)
+
+// Thread IDs. The main program is context 0; the p-thread is context 1.
+const (
+	tidMain = 0
+	tidP    = 1
+)
+
+// ErrDeadlock is returned when the pipeline stops making progress.
+var ErrDeadlock = errors.New("cpu: no progress (deadlock or MaxCycles exceeded)")
+
+// entry states.
+const (
+	stDispatched = iota
+	stReady
+	stIssued
+	stDone
+)
+
+// ref names an RUU entry by thread, ring position, and sequence number.
+// The sequence number detects stale references after squashes.
+type ref struct {
+	tid int
+	pos uint64
+	seq uint64
+}
+
+type ruuEntry struct {
+	valid bool
+	seq   uint64
+	pc    int
+	in    isa.Instruction
+	bogus bool
+
+	state     uint8
+	waitCnt   int
+	consumers []ref
+
+	// Control.
+	isCond      bool
+	predTaken   bool
+	actualTaken bool
+	mispredict  bool // resolves to a fetch redirect
+	isHalt      bool
+
+	// Memory.
+	isLoad  bool
+	isStore bool
+	addr    uint32
+	lsqPos  uint64
+	hasLSQ  bool
+
+	// Destination, for the commit-time shadow register state.
+	hasDest bool
+	destReg isa.Reg
+	destVal uint64
+}
+
+// ruuQ is a ring-buffer Register Update Unit for one hardware context.
+type ruuQ struct {
+	entries []ruuEntry
+	head    uint64 // oldest position
+	tail    uint64 // next free position
+}
+
+func newRUU(size int) ruuQ { return ruuQ{entries: make([]ruuEntry, size)} }
+
+func (q *ruuQ) count() int              { return int(q.tail - q.head) }
+func (q *ruuQ) full() bool              { return q.count() == len(q.entries) }
+func (q *ruuQ) empty() bool             { return q.head == q.tail }
+func (q *ruuQ) at(pos uint64) *ruuEntry { return &q.entries[pos%uint64(len(q.entries))] }
+
+// get resolves a ref, returning nil when it is stale.
+func (q *ruuQ) get(r ref) *ruuEntry {
+	if r.pos < q.head || r.pos >= q.tail {
+		return nil
+	}
+	e := q.at(r.pos)
+	if !e.valid || e.seq != r.seq {
+		return nil
+	}
+	return e
+}
+
+type lsqEntry struct {
+	valid     bool
+	seq       uint64
+	ruuPos    uint64
+	isStore   bool
+	addr      uint32
+	addrKnown bool
+}
+
+type lsqQ struct {
+	entries []lsqEntry
+	head    uint64
+	tail    uint64
+}
+
+func newLSQ(size int) lsqQ { return lsqQ{entries: make([]lsqEntry, size)} }
+
+func (q *lsqQ) count() int              { return int(q.tail - q.head) }
+func (q *lsqQ) full() bool              { return q.count() == len(q.entries) }
+func (q *lsqQ) at(pos uint64) *lsqEntry { return &q.entries[pos%uint64(len(q.entries))] }
+
+type ifqEntry struct {
+	seq   uint64
+	pc    int
+	in    isa.Instruction
+	bogus bool
+
+	// P-thread indicator bits set at pre-decode.
+	marked    bool
+	extracted bool
+
+	// Oracle-resolved outcome (on-trace entries only).
+	taken      bool
+	isMem      bool
+	addr       uint32
+	hasDest    bool
+	destReg    isa.Reg
+	destVal    uint64
+	predTaken  bool
+	mispredict bool
+	isCond     bool
+}
+
+// trigger/session modes.
+const (
+	modeNormal = iota
+	modeDrain
+	modeCopy
+	modeActive
+)
+
+type session struct {
+	pt        *prog.PThread
+	dloadSeq  uint64 // IFQ sequence of the triggering d-load instance
+	scanPos   uint64 // the "p-thread head" IFQ pointer
+	drainLeft int
+	copyIdx   int
+	peDone    bool // the d-load has been extracted (or lost)
+
+	// Live-in sourcing: the values are snapshotted at trigger time (the
+	// state at the then-current IFQ head), but the copy may only proceed
+	// once every in-flight producer of a live-in register has actually
+	// computed — the hardware cannot copy a value that does not exist
+	// yet. This is what makes pre-execution useless on serial pointer
+	// chases: the live-in chain never gets ahead of the machine.
+	snapshot  [isa.NumRegs]uint64
+	producers []ref
+}
+
+type sim struct {
+	cfg    Config
+	prog   *prog.Program
+	oracle *emu.Machine
+	hier   *mem.Hierarchy
+	pred   *bpred.Predictor
+	res    Result
+
+	cycle uint64
+
+	// IFQ (circular FIFO with monotonic positions).
+	ifq     []ifqEntry
+	ifqHead uint64
+	ifqTail uint64
+
+	// Fetch state.
+	fetchSeq      uint64
+	wrongPath     bool
+	wrongPC       int // -1: fetch stalled until redirect
+	fetchResumeAt uint64
+	lastEv        emu.Event
+	mainHalted    bool // HALT committed
+
+	// Back end.
+	ruu       [2]ruuQ
+	lsq       [2]lsqQ
+	ready     [2][]ref
+	readyNext [2][]ref
+	createVec [2][isa.NumRegs]ref
+	createOk  [2][isa.NumRegs]bool
+
+	// Completion event ring, indexed by cycle.
+	evq     [][]ref
+	evqMask uint64
+
+	// Per-cycle structural resources.
+	memPortsUsed int
+	fuUsed       [2][8]int // per-tid pools; shared mode uses index 0
+
+	// Dispatch-time register state: the values the main thread will have
+	// when execution reaches the current IFQ head. This is the live-in
+	// source for p-thread triggering — the hardware equivalent is a copy
+	// through the rename map once the producers have drained from the
+	// decode stage.
+	shadow [isa.NumRegs]uint64
+
+	stride *stridePrefetcher
+
+	// SPEAR state.
+	ptFor   map[int]*prog.PThread
+	marked  []bool
+	isDLoad []bool
+	mode    int
+	sess    session
+	pseq    uint64 // p-thread instruction sequence counter (all sessions)
+
+	occAccum uint64 // sum of per-cycle IFQ occupancy
+
+	// The persistent "p-thread head" (Section 3.2): where the PE resumes
+	// scanning. While it stays ahead of the IFQ head, consecutive
+	// sessions extend one continuous p-thread execution and the register
+	// state carries over without a new live-in copy; once main-thread
+	// decode overruns it (or a flush destroys the IFQ), the p-thread
+	// state is stale and the next trigger re-copies live-ins.
+	pScanPos    uint64
+	pStateValid bool
+	leafPLoad   []bool              // loads whose value no p-thread consumes
+	allLiveIns  []isa.Reg           // union of every p-thread's live-ins
+	pregs       [isa.NumRegs]uint64 // p-thread register file (bit patterns)
+	pscratch    map[uint32]byte     // p-thread store buffer
+}
+
+// Run simulates the program to completion under cfg and returns statistics.
+// The program's architectural behaviour is defined by the functional
+// emulator; Run reports an error if the pipeline fails to retire exactly
+// the instructions the emulator retires.
+func Run(p *prog.Program, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:    cfg,
+		prog:   p,
+		oracle: emu.New(p),
+		hier:   mem.NewTimedHierarchy(cfg.Hierarchy),
+		pred:   bpred.New(cfg.Predictor),
+	}
+	s.res.Config = cfg.Name
+	s.ifq = make([]ifqEntry, cfg.IFQSize)
+	s.ruu[tidMain] = newRUU(cfg.RUUSize)
+	s.ruu[tidP] = newRUU(cfg.PRUUSize)
+	s.lsq[tidMain] = newLSQ(cfg.LSQSize)
+	s.lsq[tidP] = newLSQ(cfg.LSQSize)
+	s.shadow[isa.RegSP] = uint64(emu.StackTop)
+
+	// Event ring sized to the longest possible completion latency.
+	maxLat := cfg.Hierarchy.L1D.HitLatency + cfg.Hierarchy.L2.HitLatency + cfg.Hierarchy.MemLatency + 64
+	ringSize := uint64(1)
+	for ringSize < uint64(maxLat) {
+		ringSize <<= 1
+	}
+	s.evq = make([][]ref, ringSize)
+	s.evqMask = ringSize - 1
+
+	// Load the P-thread Table.
+	s.marked = make([]bool, len(p.Text))
+	s.isDLoad = make([]bool, len(p.Text))
+	s.ptFor = map[int]*prog.PThread{}
+	s.leafPLoad = make([]bool, len(p.Text))
+	if cfg.SPEAR {
+		liveSet := map[isa.Reg]bool{}
+		for i := range p.PThreads {
+			pt := &p.PThreads[i]
+			s.ptFor[pt.DLoad] = pt
+			s.isDLoad[pt.DLoad] = true
+			for _, m := range pt.Members {
+				s.marked[m] = true
+			}
+			for _, r := range pt.LiveIns {
+				if !liveSet[r] {
+					liveSet[r] = true
+					s.allLiveIns = append(s.allLiveIns, r)
+				}
+			}
+		}
+		// A marked load is a "leaf" when no marked instruction reads its
+		// destination: its value never feeds another p-thread address, so
+		// its prefetch can be fire-and-forget. Loads on address chains
+		// (pointer chases) are not leaves and keep their full latency in
+		// the p-thread context.
+		sourced := map[isa.Reg]bool{}
+		var srcs [4]isa.Reg
+		for pc, m := range s.marked {
+			if m {
+				for _, r := range p.Text[pc].Sources(srcs[:0]) {
+					sourced[r] = true
+				}
+			}
+		}
+		for pc, m := range s.marked {
+			if m && p.Text[pc].Op.IsLoad() {
+				if rd, ok := p.Text[pc].Dest(); ok && !sourced[rd] {
+					s.leafPLoad[pc] = true
+				}
+			}
+		}
+	}
+
+	if cfg.StridePrefetch {
+		s.stride = newStridePrefetcher(256, cfg.StrideDegree)
+	}
+	s.oracle.Hook = func(ev *emu.Event) { s.lastEv = *ev }
+
+	for !s.done() {
+		if s.cycle >= cfg.MaxCycles {
+			return nil, fmt.Errorf("%w after %d cycles (%d/%d instructions committed)",
+				ErrDeadlock, s.cycle, s.res.MainCommitted, s.oracle.Count)
+		}
+		s.stepCycle()
+	}
+	if s.res.MainCommitted != s.oracle.Count {
+		return nil, fmt.Errorf("cpu: committed %d instructions but the oracle retired %d",
+			s.res.MainCommitted, s.oracle.Count)
+	}
+	s.res.Cycles = s.cycle
+	if s.cycle > 0 {
+		s.res.AvgIFQOccupancy = float64(s.occAccum) / float64(s.cycle)
+	}
+	s.res.L1D = s.hier.L1D.Stats
+	s.res.L2 = s.hier.L2.Stats
+	s.res.finalize()
+	return &s.res, nil
+}
+
+func (s *sim) done() bool {
+	return s.mainHalted && s.ruu[tidMain].empty()
+}
+
+// stepCycle advances one cycle, processing stages back to front so that a
+// result produced this cycle is visible to younger stages next cycle.
+func (s *sim) stepCycle() {
+	s.memPortsUsed = 0
+	for t := range s.fuUsed {
+		for c := range s.fuUsed[t] {
+			s.fuUsed[t][c] = 0
+		}
+	}
+
+	s.occAccum += uint64(s.ifqCount())
+	s.commitStage()
+	s.completeStage()
+	s.issueStage()
+	extracted := s.extractStage()
+	s.dispatchStage(extracted)
+	s.triggerStage()
+	s.fetchStage()
+
+	// Fold next-cycle wakeups into the ready lists.
+	for t := 0; t < 2; t++ {
+		s.ready[t] = append(s.ready[t], s.readyNext[t]...)
+		s.readyNext[t] = s.readyNext[t][:0]
+	}
+	s.cycle++
+}
+
+// ---------------------------------------------------------------- commit
+
+func (s *sim) commitStage() {
+	// Main thread commits in order, up to CommitWidth.
+	q := &s.ruu[tidMain]
+	for n := 0; n < s.cfg.CommitWidth && !q.empty(); n++ {
+		e := q.at(q.head)
+		if !e.valid || e.state != stDone {
+			break
+		}
+		if e.isStore && !e.bogus {
+			if s.memPortsUsed >= s.cfg.MemPorts {
+				break // structural stall on the cache write port
+			}
+			s.memPortsUsed++
+			s.hier.AccessAt(e.addr, true, tidMain, s.cycle)
+		}
+		if e.isCond {
+			s.res.CondBranches++
+			if e.predTaken == e.actualTaken {
+				s.res.BranchHits++
+			} else {
+				s.res.Mispredicts++
+			}
+		}
+		if e.isHalt {
+			s.mainHalted = true
+		}
+		if e.hasLSQ {
+			s.lsq[tidMain].head++
+		}
+		s.traceCommit(tidMain, e)
+		e.valid = false
+		q.head++
+		s.res.MainCommitted++
+	}
+
+	// P-thread context drains in order; its stores never touch memory.
+	pq := &s.ruu[tidP]
+	for n := 0; n < s.cfg.CommitWidth && !pq.empty(); n++ {
+		e := pq.at(pq.head)
+		if !e.valid || e.state != stDone {
+			break
+		}
+		if e.hasLSQ {
+			s.lsq[tidP].head++
+		}
+		e.valid = false
+		pq.head++
+		s.res.PCommitted++
+	}
+}
+
+// ---------------------------------------------------------------- complete
+
+func (s *sim) completeStage() {
+	bucket := &s.evq[s.cycle&s.evqMask]
+	events := *bucket
+	*bucket = nil
+	for _, r := range events {
+		e := s.ruu[r.tid].get(r)
+		if e == nil || e.state != stIssued {
+			continue
+		}
+		e.state = stDone
+		for _, c := range e.consumers {
+			ce := s.ruu[c.tid].get(c)
+			if ce == nil || ce.state != stDispatched {
+				continue
+			}
+			ce.waitCnt--
+			if ce.waitCnt == 0 {
+				ce.state = stReady
+				s.ready[c.tid] = append(s.ready[c.tid], c)
+			}
+		}
+		e.consumers = e.consumers[:0]
+		if e.mispredict {
+			s.recover(e.seq)
+		}
+	}
+}
+
+// recover squashes everything younger than the resolved mispredicted
+// control transfer and redirects fetch to the oracle's path.
+func (s *sim) recover(branchSeq uint64) {
+	// Flush the IFQ: everything in it is younger than the branch.
+	s.ifqHead = s.ifqTail
+	// Squash younger main-thread entries (they are all wrong-path).
+	q := &s.ruu[tidMain]
+	for q.tail > q.head {
+		e := q.at(q.tail - 1)
+		if !e.valid || e.seq <= branchSeq {
+			break
+		}
+		if e.hasLSQ {
+			s.lsq[tidMain].tail--
+		}
+		e.valid = false
+		q.tail--
+	}
+	// The IFQ flush destroys the p-thread's *source*: an armed or
+	// extracting session loses the entries it would have consumed and
+	// dies. Already-extracted instructions live in the p-thread's own
+	// SMT context, which a main-thread recovery does not flush — they
+	// keep draining (some may be wrong-path prefetches; that pollution
+	// is exactly why low branch hit ratios hurt SPEAR).
+	if s.mode != modeNormal {
+		s.killSession()
+	}
+	s.wrongPath = false
+	s.wrongPC = -1
+	if resume := s.cycle + uint64(s.cfg.MispredictPenalty); resume > s.fetchResumeAt {
+		s.fetchResumeAt = resume
+	}
+	s.traceFlush(branchSeq)
+}
+
+// ---------------------------------------------------------------- issue
+
+// takeFU reserves a functional unit of the given class for thread tid this
+// cycle; memory ports are always shared between contexts.
+func (s *sim) takeFU(tid int, class isa.Class) bool {
+	switch class {
+	case isa.ClassLoad, isa.ClassStore:
+		if s.memPortsUsed >= s.cfg.MemPorts {
+			return false
+		}
+		s.memPortsUsed++
+		return true
+	}
+	pool := 0
+	if s.cfg.SeparateFUs {
+		pool = tid
+	}
+	var limit int
+	switch class {
+	case isa.ClassIntALU:
+		limit = s.cfg.IntALU
+	case isa.ClassIntMulDiv:
+		limit = s.cfg.IntMulDiv
+	case isa.ClassFPALU:
+		limit = s.cfg.FPALU
+	case isa.ClassFPMulDiv:
+		limit = s.cfg.FPMulDiv
+	default:
+		// Branches, nops, halt: treat as int ALU ops.
+		class = isa.ClassIntALU
+		limit = s.cfg.IntALU
+	}
+	if s.fuUsed[pool][class] >= limit {
+		return false
+	}
+	s.fuUsed[pool][class]++
+	return true
+}
+
+func (s *sim) issueStage() {
+	budget := s.cfg.IssueWidth
+	// P-thread instructions are given scheduling priority (Section 3.3)
+	// unless the ablation knob turns it off.
+	order := [2]int{tidP, tidMain}
+	if !s.cfg.PThreadPriority {
+		order = [2]int{tidMain, tidP}
+	}
+	for _, tid := range order {
+		pending := s.ready[tid]
+		s.ready[tid] = s.ready[tid][:0]
+		for i, r := range pending {
+			if budget == 0 {
+				s.ready[tid] = append(s.ready[tid], pending[i:]...)
+				break
+			}
+			e := s.ruu[r.tid].get(r)
+			if e == nil || e.state != stReady {
+				continue
+			}
+			if e.isLoad && tid == tidMain && !e.bogus && s.loadBlocked(e) {
+				s.ready[tid] = append(s.ready[tid], r)
+				continue
+			}
+			if !s.takeFU(tid, e.in.Op.Class()) {
+				s.ready[tid] = append(s.ready[tid], r)
+				continue
+			}
+			budget--
+			lat := s.execLatency(e, tid)
+			e.state = stIssued
+			done := s.cycle + uint64(lat)
+			s.evq[done&s.evqMask] = append(s.evq[done&s.evqMask], r)
+		}
+	}
+}
+
+// loadBlocked applies conservative memory disambiguation: a main-thread
+// load waits until every older store in its LSQ has a known address.
+func (s *sim) loadBlocked(e *ruuEntry) bool {
+	q := &s.lsq[tidMain]
+	for pos := e.lsqPos; pos > q.head; pos-- {
+		se := q.at(pos - 1)
+		if !se.valid || !se.isStore {
+			continue
+		}
+		if !se.addrKnown {
+			return true
+		}
+	}
+	return false
+}
+
+// forwarded reports whether an older store to the same dword can forward.
+func (s *sim) forwarded(e *ruuEntry) bool {
+	q := &s.lsq[tidMain]
+	for pos := e.lsqPos; pos > q.head; pos-- {
+		se := q.at(pos - 1)
+		if se.valid && se.isStore && se.addrKnown && se.addr&^7 == e.addr&^7 {
+			return true
+		}
+	}
+	return false
+}
+
+// execLatency computes the execution latency and performs the timing-model
+// cache access for loads.
+func (s *sim) execLatency(e *ruuEntry, tid int) int {
+	op := e.in.Op
+	switch {
+	case e.isLoad && e.bogus:
+		return 2 // wrong-path load: address unknown, charge a short latency
+	case e.isLoad && tid == tidMain:
+		if s.forwarded(e) {
+			return 1
+		}
+		lat := s.hier.AccessAt(e.addr, false, tidMain, s.cycle).Latency
+		if s.stride != nil {
+			// The prefetcher observes demand accesses and fills the
+			// shared hierarchy; its traffic is charged to the helper
+			// slot of the cache statistics, like the p-thread's.
+			for _, pa := range s.stride.observe(e.pc, e.addr) {
+				s.hier.AccessAt(pa, false, tidP, s.cycle)
+				s.res.StridePrefetches++
+			}
+		}
+		return lat
+	case e.isLoad && tid == tidP:
+		s.res.PrefetchLoads++
+		lat := s.hier.AccessAt(e.addr, false, tidP, s.cycle).Latency
+		if s.leafPLoad[e.pc] {
+			// Fire-and-forget: nothing in any p-thread consumes this
+			// load's value, so the context entry retires as soon as the
+			// prefetch is launched; the fill completes in the memory
+			// system on its own.
+			return 2
+		}
+		return lat
+	case e.isStore:
+		// Address generation; the cache write happens at commit.
+		if le := s.lsq[tid].at(e.lsqPos); le.valid && le.seq == e.seq {
+			le.addrKnown = true
+		}
+		return 1
+	default:
+		return op.Latency()
+	}
+}
+
+// ---------------------------------------------------------------- dispatch
+
+// dispatchStage decodes main-thread instructions from the IFQ head into the
+// RUU, using whatever decode bandwidth the PE left this cycle.
+func (s *sim) dispatchStage(extracted int) {
+	width := s.cfg.DecodeWidth - extracted
+	for n := 0; n < width && s.ifqHead < s.ifqTail; n++ {
+		fe := &s.ifq[s.ifqHead%uint64(len(s.ifq))]
+		q := &s.ruu[tidMain]
+		if q.full() {
+			return
+		}
+		needLSQ := fe.in.Op.IsMem()
+		if needLSQ && s.lsq[tidMain].full() {
+			return
+		}
+		pos := q.tail
+		q.tail++
+		e := q.at(pos)
+		*e = ruuEntry{
+			valid:       true,
+			seq:         fe.seq,
+			pc:          fe.pc,
+			in:          fe.in,
+			bogus:       fe.bogus,
+			state:       stDispatched,
+			isCond:      fe.isCond,
+			predTaken:   fe.predTaken,
+			actualTaken: fe.taken,
+			mispredict:  fe.mispredict,
+			isHalt:      fe.in.Op == isa.HALT && !fe.bogus,
+			isLoad:      fe.in.Op.IsLoad(),
+			isStore:     fe.in.Op.IsStore(),
+			addr:        fe.addr,
+			hasDest:     fe.hasDest,
+			destReg:     fe.destReg,
+			destVal:     fe.destVal,
+			consumers:   e.consumers[:0],
+		}
+		if e.bogus && e.in.Op.IsMem() {
+			// Wrong-path addresses are unknown; use a unique dword so
+			// they never alias with real disambiguation.
+			e.addr = 0xF000_0000 | uint32(pos<<3)
+		}
+		if e.hasDest && !e.bogus {
+			// Advance the dispatch-time shadow state (IFQ-head values).
+			s.shadow[e.destReg] = e.destVal
+		}
+		if needLSQ {
+			lq := &s.lsq[tidMain]
+			lpos := lq.tail
+			lq.tail++
+			// Store addresses are produced by a dedicated address
+			// generation port at dispatch (they rarely depend on
+			// long-latency values), so loads are not serialized behind
+			// value-dependent stores.
+			*lq.at(lpos) = lsqEntry{
+				valid:     true,
+				seq:       e.seq,
+				ruuPos:    pos,
+				isStore:   e.isStore,
+				addr:      e.addr,
+				addrKnown: true,
+			}
+			e.lsqPos = lpos
+			e.hasLSQ = true
+		}
+		s.wireSources(tidMain, pos, e)
+		s.traceDispatch(tidMain, e)
+		s.ifqHead++
+	}
+}
+
+// wireSources links the entry to in-flight producers via the create vector
+// and publishes its own destination.
+func (s *sim) wireSources(tid int, pos uint64, e *ruuEntry) {
+	var srcs [4]isa.Reg
+	for _, r := range e.in.Sources(srcs[:0]) {
+		if !s.createOk[tid][r] {
+			continue
+		}
+		pr := s.createVec[tid][r]
+		pe := s.ruu[tid].get(pr)
+		if pe == nil || pe.state == stDone {
+			continue
+		}
+		pe.consumers = append(pe.consumers, ref{tid: tid, pos: pos, seq: e.seq})
+		e.waitCnt++
+	}
+	if rd, ok := e.in.Dest(); ok {
+		s.createVec[tid][rd] = ref{tid: tid, pos: pos, seq: e.seq}
+		s.createOk[tid][rd] = true
+	}
+	if e.waitCnt == 0 {
+		e.state = stReady
+		s.readyNext[tid] = append(s.readyNext[tid], ref{tid: tid, pos: pos, seq: e.seq})
+	}
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (s *sim) ifqCount() int { return int(s.ifqTail - s.ifqHead) }
+
+func (s *sim) fetchStage() {
+	if s.cycle < s.fetchResumeAt {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth && s.ifqCount() < s.cfg.IFQSize; n++ {
+		if s.wrongPath {
+			if !s.fetchWrongPath() {
+				return
+			}
+			continue
+		}
+		if s.oracle.Halted {
+			return
+		}
+		if err := s.oracle.Step(); err != nil {
+			// The program validated, so this is unreachable in practice;
+			// stop fetching and let the pipeline drain.
+			return
+		}
+		s.fetchOnTrace()
+	}
+}
+
+// fetchOnTrace turns the oracle's last event into an IFQ entry, consulting
+// the predictor to decide whether fetch diverges onto the wrong path.
+func (s *sim) fetchOnTrace() {
+	ev := &s.lastEv
+	fe := ifqEntry{
+		seq:     s.fetchSeq,
+		pc:      ev.PC,
+		in:      ev.Instr,
+		taken:   ev.Taken,
+		isMem:   ev.IsMem,
+		addr:    ev.Addr,
+		hasDest: ev.HasDest,
+		destReg: ev.DestReg,
+		destVal: ev.DestVal,
+	}
+	s.fetchSeq++
+	op := ev.Instr.Op
+	switch {
+	case op.IsBranch():
+		fe.isCond = true
+		fe.predTaken = s.pred.PredictBranch(ev.PC)
+		s.pred.Update(ev.PC, ev.Taken, fe.predTaken)
+		if fe.predTaken != ev.Taken {
+			fe.mispredict = true
+			s.wrongPath = true
+			if fe.predTaken {
+				s.wrongPC = int(ev.Instr.Imm)
+			} else {
+				s.wrongPC = ev.PC + 1
+			}
+		}
+	case op == isa.JAL:
+		s.pred.PushRAS(ev.PC + 1)
+	case op == isa.JR:
+		tgt, ok := s.pred.PopRAS()
+		if !ok || tgt != ev.NextPC {
+			fe.mispredict = true
+			s.wrongPath = true
+			s.wrongPC = -1
+			if ok {
+				s.wrongPC = tgt
+			}
+		}
+	case op == isa.JALR:
+		tgt, ok := s.pred.PredictIndirect(ev.PC)
+		s.pred.PushRAS(ev.PC + 1)
+		s.pred.UpdateIndirect(ev.PC, ev.NextPC)
+		if !ok || tgt != ev.NextPC {
+			fe.mispredict = true
+			s.wrongPath = true
+			s.wrongPC = -1
+			if ok {
+				s.wrongPC = tgt
+			}
+		}
+	}
+	s.preDecode(&fe)
+	s.pushIFQ(fe)
+}
+
+// fetchWrongPath fetches one instruction along the predicted-but-wrong
+// path. It reports false when fetch must stall (unknown target).
+func (s *sim) fetchWrongPath() bool {
+	if s.wrongPC < 0 || s.wrongPC >= len(s.prog.Text) {
+		return false
+	}
+	in := s.prog.Text[s.wrongPC]
+	fe := ifqEntry{seq: s.fetchSeq, pc: s.wrongPC, in: in, bogus: true}
+	s.fetchSeq++
+	switch {
+	case in.Op.IsBranch():
+		if s.pred.PredictBranch(s.wrongPC) {
+			s.wrongPC = int(in.Imm)
+		} else {
+			s.wrongPC++
+		}
+	case in.Op == isa.J || in.Op == isa.JAL:
+		s.wrongPC = int(in.Imm)
+	case in.Op == isa.JR || in.Op == isa.JALR:
+		if tgt, ok := s.pred.PredictIndirect(s.wrongPC); ok {
+			s.wrongPC = tgt
+		} else {
+			s.wrongPC = -1
+		}
+	case in.Op == isa.HALT:
+		s.wrongPC = -1
+	default:
+		s.wrongPC++
+	}
+	s.preDecode(&fe)
+	s.pushIFQ(fe)
+	return true
+}
+
+func (s *sim) pushIFQ(fe ifqEntry) {
+	s.traceFetch(&fe)
+	s.ifq[s.ifqTail%uint64(len(s.ifq))] = fe
+	s.ifqTail++
+}

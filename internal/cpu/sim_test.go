@@ -1,0 +1,468 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spear/internal/asm"
+	"spear/internal/emu"
+	"spear/internal/prog"
+	"spear/internal/spearcc"
+)
+
+// fastConfig shrinks MaxCycles for tests.
+func fastConfig() Config {
+	c := BaselineConfig()
+	c.MaxCycles = 50_000_000
+	return c
+}
+
+func assemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runBoth runs p on the emulator and the cycle core and checks that the
+// core retires exactly the emulator's instruction count.
+func runBoth(t *testing.T, p *prog.Program, cfg Config) *Result {
+	t.Helper()
+	m := emu.New(p)
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatalf("emulator: %v", err)
+	}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("cycle core: %v", err)
+	}
+	if res.MainCommitted != m.Count {
+		t.Fatalf("core committed %d, emulator retired %d", res.MainCommitted, m.Count)
+	}
+	return res
+}
+
+var corePrograms = map[string]string{
+	"straightline": `
+main:   li r1, 1
+        li r2, 2
+        add r3, r1, r2
+        mul r4, r3, r3
+        halt
+`,
+	"counted loop": `
+main:   li r1, 0
+        li r2, 2000
+loop:   addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`,
+	"nested loops with memory": `
+        .data
+buf:    .space 8192
+        .text
+main:   li r1, 0
+outer:  li r2, 0
+        la r3, buf
+inner:  slli r4, r2, 3
+        add r5, r3, r4
+        ld r6, 0(r5)
+        addi r6, r6, 1
+        sd r6, 0(r5)
+        addi r2, r2, 1
+        slti r7, r2, 64
+        bnez r7, inner
+        addi r1, r1, 1
+        slti r7, r1, 20
+        bnez r7, outer
+        halt
+`,
+	"recursive fib": `
+main:   li   r4, 12
+        call fib
+        halt
+fib:    slti r5, r4, 2
+        beqz r5, rec
+        mv   r2, r4
+        ret
+rec:    addi sp, sp, -24
+        sd   ra, 0(sp)
+        sd   r4, 8(sp)
+        addi r4, r4, -1
+        call fib
+        sd   r2, 16(sp)
+        ld   r4, 8(sp)
+        addi r4, r4, -2
+        call fib
+        ld   r6, 16(sp)
+        add  r2, r2, r6
+        ld   ra, 0(sp)
+        addi sp, sp, 24
+        ret
+`,
+	"fp kernel": `
+        .data
+vec:    .space 4096
+        .text
+main:   la r1, vec
+        li r2, 0
+        li r9, 1
+        cvtld f1, r9
+loop:   slli r3, r2, 3
+        add r4, r1, r3
+        fld f2, 0(r4)
+        fadd f2, f2, f1
+        fmul f3, f2, f2
+        fsd f3, 0(r4)
+        addi r2, r2, 1
+        slti r5, r2, 512
+        bnez r5, loop
+        halt
+`,
+	"data-dependent branches": `
+        .data
+tbl:    .space 8192
+        .text
+main:   la r1, tbl
+        li r2, 0
+        li r8, 0
+loop:   slli r3, r2, 3
+        add r4, r1, r3
+        ld r5, 0(r4)
+        andi r6, r5, 1
+        beqz r6, even
+        addi r8, r8, 3
+        j next
+even:   addi r8, r8, 1
+next:   addi r2, r2, 1
+        slti r7, r2, 1000
+        bnez r7, loop
+        halt
+`,
+}
+
+func TestCoreMatchesEmulator(t *testing.T) {
+	for name, src := range corePrograms {
+		t.Run(name, func(t *testing.T) {
+			p := assemble(t, src)
+			if name == "data-dependent branches" {
+				r := rand.New(rand.NewSource(9))
+				for i := 0; i < 1000; i++ {
+					binary.LittleEndian.PutUint64(p.Data[0].Bytes[8*i:], uint64(r.Int63()))
+				}
+			}
+			res := runBoth(t, p, fastConfig())
+			if res.IPC <= 0 || res.IPC > float64(fastConfig().IssueWidth) {
+				t.Errorf("IPC = %v out of range", res.IPC)
+			}
+		})
+	}
+}
+
+func TestCoreMatchesEmulatorWithIFQ256(t *testing.T) {
+	cfg := fastConfig()
+	cfg.IFQSize = 256
+	p := assemble(t, corePrograms["nested loops with memory"])
+	runBoth(t, p, cfg)
+}
+
+func TestTightLoopIPC(t *testing.T) {
+	// An independent-ops loop should sustain decent throughput.
+	p := assemble(t, `
+main:   li r1, 0
+        li r2, 50000
+loop:   addi r3, r3, 1
+        addi r4, r4, 1
+        addi r5, r5, 1
+        addi r6, r6, 1
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`)
+	res := runBoth(t, p, fastConfig())
+	if res.IPC < 2 {
+		t.Errorf("tight-loop IPC = %.2f, expected pipelined execution > 2", res.IPC)
+	}
+}
+
+func TestBranchPredictorStats(t *testing.T) {
+	// A loop branch is almost always taken: high hit ratio, IPB ~ loop size.
+	p := assemble(t, `
+main:   li r1, 0
+        li r2, 10000
+loop:   addi r1, r1, 1
+        addi r3, r3, 7
+        addi r4, r4, 9
+        blt r1, r2, loop
+        halt
+`)
+	res := runBoth(t, p, fastConfig())
+	if res.CondBranches != 10000 {
+		t.Fatalf("cond branches = %d", res.CondBranches)
+	}
+	if res.BranchRatio < 0.99 {
+		t.Errorf("branch hit ratio = %v for a loop branch", res.BranchRatio)
+	}
+	if res.IPB < 3.5 || res.IPB > 4.5 {
+		t.Errorf("IPB = %v, want ~4", res.IPB)
+	}
+}
+
+func TestMispredictsSlowExecution(t *testing.T) {
+	// Random branches vs perfectly biased branches: same instruction
+	// count, but the random version must take more cycles.
+	template := func(nm string) *prog.Program {
+		p := assemble(t, `
+        .data
+tbl:    .space 80000
+        .text
+main:   la r1, tbl
+        li r2, 0
+loop:   slli r3, r2, 3
+        add r4, r1, r3
+        ld r5, 0(r4)
+        andi r6, r5, 1
+        beqz r6, skip
+        addi r8, r8, 3
+skip:   addi r2, r2, 1
+        slti r7, r2, 10000
+        bnez r7, loop
+        halt
+`)
+		p.Name = nm
+		return p
+	}
+	biased := template("biased")
+	random := template("random")
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		binary.LittleEndian.PutUint64(random.Data[0].Bytes[8*i:], uint64(r.Int63()))
+		// biased stays all zero: beqz always taken
+	}
+	rb := runBoth(t, biased, fastConfig())
+	rr, err := Run(random, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.BranchRatio >= rb.BranchRatio {
+		t.Errorf("random branch ratio %v >= biased %v", rr.BranchRatio, rb.BranchRatio)
+	}
+	if rr.Cycles <= rb.Cycles {
+		t.Errorf("random-branch run (%d cycles) not slower than biased (%d)", rr.Cycles, rb.Cycles)
+	}
+	if rr.Mispredicts == 0 {
+		t.Error("no mispredicts recorded on random branches")
+	}
+}
+
+func TestMemoryLatencySweepSlowsBaseline(t *testing.T) {
+	p := pointerishKernel(t, 77)
+	fast := fastConfig()
+	fast.Hierarchy = fast.Hierarchy.WithLatencies(4, 40)
+	slow := fastConfig()
+	slow.Hierarchy = slow.Hierarchy.WithLatencies(20, 200)
+	rf, err := Run(p, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(p, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles <= rf.Cycles {
+		t.Errorf("200-cycle memory (%d cycles) not slower than 40-cycle (%d)", rs.Cycles, rf.Cycles)
+	}
+}
+
+// pointerishKernel builds the irregular gather kernel used across tests:
+// a sequential index array driving random loads from a table bigger than L2.
+func pointerishKernel(t *testing.T, seed int64) *prog.Program {
+	t.Helper()
+	p := assemble(t, `
+        .data
+idx:    .space 65536         # 8192 * 8
+tbl:    .space 4194304       # 512K * 8
+        .text
+main:   la   r1, idx
+        la   r2, tbl
+        li   r3, 0
+        li   r4, 8192
+loop:   slli r5, r3, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        slli r8, r7, 3
+        add  r9, r2, r8
+dload:  ld   r10, 0(r9)
+        add  r11, r11, r10
+        xor  r12, r12, r10
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`)
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < 8192; i++ {
+		binary.LittleEndian.PutUint64(p.Data[0].Bytes[8*i:], uint64(r.Intn(512*1024)))
+	}
+	return p
+}
+
+// compileSPEAR runs the SPEAR compiler on a training copy (different seed)
+// and returns the annotated binary with the reference data image.
+func compileSPEAR(t *testing.T, refSeed, trainSeed int64) *prog.Program {
+	t.Helper()
+	train := pointerishKernel(t, trainSeed)
+	opts := spearcc.DefaultOptions()
+	opts.Profile.MaxInstr = 2_000_000
+	annotated, _, err := spearcc.Compile(train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated.PThreads) == 0 {
+		t.Fatal("compiler produced no p-threads")
+	}
+	// Swap in the reference input.
+	ref := pointerishKernel(t, refSeed)
+	annotated.Data = ref.Data
+	return annotated
+}
+
+func TestSPEARPrefetchesAndSpeedsUp(t *testing.T) {
+	spearProg := compileSPEAR(t, 123, 456)
+
+	base, err := Run(spearProg, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SPEARConfig(128, false)
+	cfg.MaxCycles = 50_000_000
+	sp, err := Run(spearProg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sp.MainCommitted != base.MainCommitted {
+		t.Fatalf("SPEAR committed %d vs baseline %d", sp.MainCommitted, base.MainCommitted)
+	}
+	if sp.Triggers == 0 || sp.Extracted == 0 || sp.PrefetchLoads == 0 {
+		t.Fatalf("SPEAR machinery idle: %+v", sp)
+	}
+	if sp.SessionsDone == 0 {
+		t.Error("no pre-execution session completed")
+	}
+	if sp.MainL1Misses() >= base.MainL1Misses() {
+		t.Errorf("SPEAR main-thread L1 misses %d not below baseline %d",
+			sp.MainL1Misses(), base.MainL1Misses())
+	}
+	if sp.IPC <= base.IPC {
+		t.Errorf("SPEAR IPC %.3f not above baseline %.3f", sp.IPC, base.IPC)
+	}
+	t.Logf("baseline IPC %.3f, SPEAR-128 IPC %.3f (%.1f%%), misses %d -> %d, triggers %d, extracted %d",
+		base.IPC, sp.IPC, 100*(sp.IPC/base.IPC-1), base.MainL1Misses(), sp.MainL1Misses(), sp.Triggers, sp.Extracted)
+}
+
+func TestSPEARLongerIFQHelpsHere(t *testing.T) {
+	spearProg := compileSPEAR(t, 31, 77)
+	c128 := SPEARConfig(128, false)
+	c256 := SPEARConfig(256, false)
+	r128, err := Run(spearProg, c128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r256, err := Run(spearProg, c256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This kernel has near-perfect branch prediction, so the longer IFQ
+	// must not hurt (paper Table 3).
+	if float64(r256.Cycles) > 1.02*float64(r128.Cycles) {
+		t.Errorf("SPEAR-256 (%d cycles) slower than SPEAR-128 (%d)", r256.Cycles, r128.Cycles)
+	}
+}
+
+func TestSPEARWithoutAnnotationsEqualsBaseline(t *testing.T) {
+	p := pointerishKernel(t, 5)
+	base, err := Run(p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SPEARConfig(128, false)
+	cfg.MaxCycles = 50_000_000
+	sp, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Cycles != base.Cycles {
+		t.Errorf("SPEAR with empty PT took %d cycles, baseline %d", sp.Cycles, base.Cycles)
+	}
+	if sp.Triggers != 0 {
+		t.Errorf("triggers fired with empty PT")
+	}
+}
+
+func TestSeparateFUsRun(t *testing.T) {
+	spearProg := compileSPEAR(t, 8, 9)
+	shared := SPEARConfig(128, false)
+	sf := SPEARConfig(128, true)
+	rsh, err := Run(spearProg, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsf, err := Run(spearProg, sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsf.MainCommitted != rsh.MainCommitted {
+		t.Fatal("sf model committed a different instruction count")
+	}
+	// Dedicated units must not make things meaningfully slower.
+	if float64(rsf.Cycles) > 1.02*float64(rsh.Cycles) {
+		t.Errorf("SPEAR.sf (%d cycles) slower than shared (%d)", rsf.Cycles, rsh.Cycles)
+	}
+}
+
+func TestDeadlockGuard(t *testing.T) {
+	p := assemble(t, corePrograms["counted loop"])
+	cfg := fastConfig()
+	cfg.MaxCycles = 10
+	_, err := Run(p, cfg)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.FetchWidth = 0 },
+		func(c *Config) { c.IFQSize = 1 },
+		func(c *Config) { c.RUUSize = 0 },
+		func(c *Config) { c.MemPorts = 0 },
+		func(c *Config) { c.MaxCycles = 0 },
+		func(c *Config) { c.SPEAR = true; c.ExtractWidth = 0 },
+	}
+	for i, mut := range bad {
+		c := BaselineConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	if err := BaselineConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if err := SPEARConfig(256, true).Validate(); err != nil {
+		t.Errorf("SPEAR config rejected: %v", err)
+	}
+}
+
+func TestSPEARConfigNames(t *testing.T) {
+	if got := SPEARConfig(128, false).Name; got != "SPEAR-128" {
+		t.Errorf("name = %q", got)
+	}
+	if got := SPEARConfig(256, true).Name; got != "SPEAR.sf-256" {
+		t.Errorf("name = %q", got)
+	}
+}

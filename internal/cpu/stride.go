@@ -1,0 +1,70 @@
+package cpu
+
+// A PC-indexed stride prefetcher — the "traditional prefetching method"
+// of the paper's introduction, which "strongly rel[ies] on the
+// predictability of memory access patterns and often fail[s] when faced
+// with irregular patterns". It exists as a comparison baseline: the
+// motivation experiment (harness.Motivation) runs baseline, baseline +
+// stride, and SPEAR side by side to reproduce the paper's argument that
+// irregular workloads need pre-execution rather than pattern prediction.
+//
+// The design is the classic reference-prediction table: each load PC maps
+// to its last address, last stride, and a 2-bit confidence counter; a
+// confident, stable stride issues prefetches `degree` strides ahead.
+
+type strideEntry struct {
+	pc       int
+	lastAddr uint32
+	stride   int32
+	conf     uint8
+	valid    bool
+}
+
+type stridePrefetcher struct {
+	table  []strideEntry
+	degree int
+	mask   int
+}
+
+func newStridePrefetcher(entries, degree int) *stridePrefetcher {
+	if entries&(entries-1) != 0 || entries <= 0 {
+		panic("cpu: stride table size must be a power of two")
+	}
+	return &stridePrefetcher{
+		table:  make([]strideEntry, entries),
+		degree: degree,
+		mask:   entries - 1,
+	}
+}
+
+// observe records a demand access by the load at pc and returns the
+// addresses to prefetch (empty unless the stride is confident).
+func (sp *stridePrefetcher) observe(pc int, addr uint32) []uint32 {
+	e := &sp.table[pc&sp.mask]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int32(addr) - int32(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		e.stride = stride
+	}
+	e.lastAddr = addr
+	if e.conf < 2 || e.stride == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, sp.degree)
+	next := addr
+	for i := 0; i < sp.degree; i++ {
+		next = uint32(int32(next) + e.stride)
+		out = append(out, next)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package cpu
+
+import "testing"
+
+func TestStridePrefetcherLearnsConstantStride(t *testing.T) {
+	sp := newStridePrefetcher(64, 2)
+	var got []uint32
+	for i := uint32(0); i < 8; i++ {
+		got = sp.observe(10, 0x1000+i*64)
+	}
+	if len(got) != 2 {
+		t.Fatalf("confident stride issued %d prefetches, want 2", len(got))
+	}
+	last := uint32(0x1000 + 7*64)
+	if got[0] != last+64 || got[1] != last+128 {
+		t.Errorf("prefetch addresses %#x, %#x", got[0], got[1])
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	sp := newStridePrefetcher(64, 2)
+	addrs := []uint32{0x100, 0x9000, 0x42, 0x77777, 0x1234, 0x888}
+	issued := 0
+	for _, a := range addrs {
+		issued += len(sp.observe(10, a))
+	}
+	if issued != 0 {
+		t.Errorf("random access pattern triggered %d prefetches", issued)
+	}
+}
+
+func TestStridePrefetcherZeroStrideSilent(t *testing.T) {
+	sp := newStridePrefetcher(64, 2)
+	for i := 0; i < 10; i++ {
+		if got := sp.observe(5, 0x2000); len(got) != 0 {
+			t.Fatal("zero stride must not prefetch")
+		}
+	}
+}
+
+func TestStridePrefetcherPerPC(t *testing.T) {
+	sp := newStridePrefetcher(64, 1)
+	// Two loads with different strides interleaved: both learn.
+	var a, b []uint32
+	for i := uint32(0); i < 8; i++ {
+		a = sp.observe(1, 0x1000+i*8)
+		b = sp.observe(2, 0x8000+i*4096)
+	}
+	if len(a) != 1 || a[0] != 0x1000+7*8+8 {
+		t.Errorf("pc 1 prefetch %v", a)
+	}
+	if len(b) != 1 || b[0] != 0x8000+7*4096+4096 {
+		t.Errorf("pc 2 prefetch %v", b)
+	}
+}
+
+func TestStrideConfigHelpsStreamsNotGathers(t *testing.T) {
+	// The motivation claim in miniature: a streaming kernel improves with
+	// the stride prefetcher; a random gather barely moves.
+	stream := assemble(t, `
+        .data
+buf:    .space 4194304
+        .text
+main:   la r1, buf
+        li r2, 0
+        li r3, 60000
+loop:   slli r4, r2, 5
+        andi r4, r4, 0x3FFFE0
+        add r5, r1, r4
+        ld r6, 0(r5)          # constant stride 32: prefetchable
+        add r7, r7, r6
+        addi r2, r2, 1
+        blt r2, r3, loop
+        halt
+`)
+	gather := pointerishKernel(t, 61)
+
+	sBase, err := Run(stream, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStride, err := Run(stream, StrideConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStride.IPC < 1.15*sBase.IPC {
+		t.Errorf("stride prefetcher (degree 8) gained only %.1f%% on a pure stream",
+			100*(sStride.IPC/sBase.IPC-1))
+	}
+	if sStride.StridePrefetches == 0 {
+		t.Error("no stride prefetches issued")
+	}
+
+	gBase, err := Run(gather, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gStride, err := Run(gather, StrideConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gather's delinquent load is unpredictable; the index stream is
+	// prefetchable, so allow a modest gain — but far below the stream's.
+	if gStride.IPC > 1.25*gBase.IPC {
+		t.Errorf("stride prefetcher gained %.1f%% on a random gather — too effective",
+			100*(gStride.IPC/gBase.IPC-1))
+	}
+}

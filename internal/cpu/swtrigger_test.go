@@ -1,0 +1,68 @@
+package cpu
+
+import "testing"
+
+func TestSoftwareTriggerConfig(t *testing.T) {
+	cfg := SoftwareTriggerConfig(128)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "SW-trigger-128" || !cfg.SPEAR || !cfg.SoftwareTrigger {
+		t.Errorf("config = %+v", cfg)
+	}
+	bad := cfg
+	bad.SpawnOverhead = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero spawn overhead accepted")
+	}
+}
+
+func TestSoftwareTriggerNeverFaster(t *testing.T) {
+	p := compileSPEAR(t, 71, 72)
+	hw, err := Run(p, SPEARConfig(128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Run(p, SoftwareTriggerConfig(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.MainCommitted != hw.MainCommitted {
+		t.Fatal("architectural divergence between trigger models")
+	}
+	// Software spawning pays strictly more overhead; allow simulation
+	// noise but not a real win.
+	if float64(sw.IPC) > 1.05*hw.IPC {
+		t.Errorf("software triggering (%.3f IPC) beats hardware (%.3f)", sw.IPC, hw.IPC)
+	}
+	if sw.Triggers == 0 {
+		t.Error("software-trigger run never triggered")
+	}
+}
+
+func TestStrideConfigValidation(t *testing.T) {
+	cfg := StrideConfig(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.StrideDegree = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero stride degree accepted")
+	}
+}
+
+func TestStrideAndSPEARCompose(t *testing.T) {
+	// The two prefetching mechanisms are orthogonal and can run together.
+	p := compileSPEAR(t, 73, 74)
+	cfg := SPEARConfig(128, false)
+	cfg.StridePrefetch = true
+	cfg.StrideDegree = 2
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StridePrefetches == 0 || res.Extracted == 0 {
+		t.Errorf("combined run idle: stride=%d extracted=%d", res.StridePrefetches, res.Extracted)
+	}
+}

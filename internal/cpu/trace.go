@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// Pipeline tracing: when Config.Trace is set, the simulator emits one line
+// per interesting event for the first Config.TraceCycles cycles — fetches,
+// dispatches, extractions, trigger transitions, issues, and commits. The
+// format is stable enough for tooling but intended for humans debugging a
+// kernel's interaction with the SPEAR front end (spearsim -trace).
+
+func (s *sim) tracing() bool {
+	return s.cfg.Trace != nil && s.cycle < s.cfg.TraceCycles
+}
+
+func (s *sim) tracef(format string, args ...any) {
+	if s.tracing() {
+		fmt.Fprintf(s.cfg.Trace, "%8d  ", s.cycle)
+		fmt.Fprintf(s.cfg.Trace, format+"\n", args...)
+	}
+}
+
+// traceEvent names used by the tests.
+const (
+	evFetch   = "fetch"
+	evDisp    = "dispatch"
+	evExtract = "extract"
+	evTrigger = "trigger"
+	evCommit  = "commit"
+	evFlush   = "flush"
+)
+
+func (s *sim) traceFetch(fe *ifqEntry) {
+	if !s.tracing() {
+		return
+	}
+	kind := ""
+	if fe.bogus {
+		kind = " [wrong-path]"
+	}
+	mark := ""
+	if fe.marked {
+		mark = " [marked]"
+	}
+	s.tracef("%s   pc=%-5d %v%s%s", evFetch, fe.pc, fe.in, kind, mark)
+}
+
+func (s *sim) traceDispatch(tid int, e *ruuEntry) {
+	if !s.tracing() {
+		return
+	}
+	who := "main"
+	ev := evDisp
+	if tid == tidP {
+		who = "p   "
+		ev = evExtract
+	}
+	s.tracef("%s %s pc=%-5d %v", ev, who, e.pc, e.in)
+}
+
+func (s *sim) traceTrigger(action string) {
+	s.tracef("%s %s (occupancy %d, p-head %d)", evTrigger, action, s.ifqCount(), s.pScanPos)
+}
+
+func (s *sim) traceCommit(tid int, e *ruuEntry) {
+	if !s.tracing() {
+		return
+	}
+	who := "main"
+	if tid == tidP {
+		who = "p   "
+	}
+	s.tracef("%s  %s pc=%-5d %v", evCommit, who, e.pc, e.in)
+}
+
+func (s *sim) traceFlush(branchSeq uint64) {
+	s.tracef("%s  redirect after seq %d", evFlush, branchSeq)
+}
+
+// nullTrace discards (used to keep call sites simple when disabled).
+var _ io.Writer = io.Discard

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"spear/internal/bpred"
+	"spear/internal/cpu"
+	"spear/internal/slicer"
+	"spear/internal/stats"
+	"spear/internal/workloads"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's evaluation and probe its stated future work ("further
+// research on the prefetching range needs to be conducted") plus the
+// empirically chosen constants: the 120-cycle d-cycle criterion, the
+// half-IFQ trigger occupancy, the issue-width/2 extraction bandwidth, and
+// the p-thread issue priority.
+
+// AblationPoint is one knob setting's outcome on one kernel.
+type AblationPoint struct {
+	Kernel  string
+	Setting string
+	IPC     float64
+	Norm    float64 // IPC / baseline IPC
+}
+
+// AblationResult is one study.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// defaultAblationKernels are a strong-gain gather, an FP stream, and a
+// branchy kernel — enough spread to show each knob's regime.
+var defaultAblationKernels = []string{"mcf", "art", "matrix"}
+
+// AblatePrefetchRange recompiles kernels with different d-cycle thresholds
+// for the region-based prefetching range (the paper's empirically chosen
+// 120) and measures SPEAR-128 performance.
+func AblatePrefetchRange(opts Options, thresholds []float64) (*AblationResult, error) {
+	res := &AblationResult{Name: "prefetch-range (d-cycle threshold; paper: 120)"}
+	kernels := opts.Kernels
+	if len(kernels) == 0 {
+		kernels = defaultAblationKernels
+	}
+	for _, name := range kernels {
+		k, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown kernel %q", name)
+		}
+		base, err := baselineIPC(*k, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range thresholds {
+			o := opts
+			o.Compiler.Slice.DCycleThreshold = th
+			prep, err := Prepare(*k, o)
+			if err != nil {
+				return nil, err
+			}
+			r, err := cpu.Run(prep.Ref, cpu.SPEARConfig(128, false))
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Kernel:  name,
+				Setting: fmt.Sprintf("d-cycle>=%.0f", th),
+				IPC:     r.IPC,
+				Norm:    r.IPC / base,
+			})
+		}
+	}
+	return res, nil
+}
+
+// AblateExtractWidth sweeps the PE extraction bandwidth (the paper fixes
+// it to half the issue width).
+func AblateExtractWidth(opts Options, widths []int) (*AblationResult, error) {
+	return sweepConfigs(opts, "extraction bandwidth (paper: issue/2 = 4)", widths,
+		func(cfg *cpu.Config, w int) string {
+			cfg.ExtractWidth = w
+			return fmt.Sprintf("extract=%d", w)
+		})
+}
+
+// AblateTriggerOccupancy sweeps the IFQ occupancy fraction required to arm
+// a trigger (the paper empirically uses one half).
+func AblateTriggerOccupancy(opts Options, fractions []float64) (*AblationResult, error) {
+	return sweepConfigs(opts, "trigger occupancy (paper: IFQ/2)", fractions,
+		func(cfg *cpu.Config, f float64) string {
+			cfg.TriggerFraction = f
+			return fmt.Sprintf("occ>=%.2f*IFQ", f)
+		})
+}
+
+// AblateRegionPolicy compares the paper's d-cycle region rule against the
+// fixed innermost/outermost alternatives (the paper's stated future work).
+func AblateRegionPolicy(opts Options) (*AblationResult, error) {
+	res := &AblationResult{Name: "region selection policy (paper: d-cycle >= 120)"}
+	kernels := opts.Kernels
+	if len(kernels) == 0 {
+		kernels = defaultAblationKernels
+	}
+	for _, name := range kernels {
+		k, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown kernel %q", name)
+		}
+		base, err := baselineIPC(*k, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range []slicer.RegionPolicy{slicer.RegionInnermost, slicer.RegionDCycle, slicer.RegionOutermost} {
+			o := opts
+			o.Compiler.Slice.Region = pol
+			prep, err := Prepare(*k, o)
+			if err != nil {
+				return nil, err
+			}
+			r, err := cpu.Run(prep.Ref, cpu.SPEARConfig(128, false))
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Kernel:  name,
+				Setting: pol.String(),
+				IPC:     r.IPC,
+				Norm:    r.IPC / base,
+			})
+		}
+	}
+	return res, nil
+}
+
+// AblatePredictor swaps the paper's bimodal predictor for gshare — Table 3
+// attributes SPEAR's losses to branch quality, so this measures how much a
+// stronger predictor recovers.
+func AblatePredictor(opts Options) (*AblationResult, error) {
+	return sweepConfigs(opts, "branch predictor (paper: bimodal)", []bpred.Kind{bpred.Bimodal, bpred.Gshare},
+		func(cfg *cpu.Config, k bpred.Kind) string {
+			cfg.Predictor = cfg.Predictor.WithKind(k)
+			return k.String()
+		})
+}
+
+// AblatePRUUSize sweeps the p-thread context's RUU size — the hardware
+// cost axis the paper defers to its VLSI-complexity future work.
+func AblatePRUUSize(opts Options, sizes []int) (*AblationResult, error) {
+	return sweepConfigs(opts, "p-thread context size (default: 128)", sizes,
+		func(cfg *cpu.Config, n int) string {
+			cfg.PRUUSize = n
+			return fmt.Sprintf("p-RUU=%d", n)
+		})
+}
+
+// AblatePriority toggles the p-thread's issue priority (Section 3.3).
+func AblatePriority(opts Options) (*AblationResult, error) {
+	return sweepConfigs(opts, "p-thread issue priority (paper: on)", []bool{true, false},
+		func(cfg *cpu.Config, on bool) string {
+			cfg.PThreadPriority = on
+			if on {
+				return "priority=on"
+			}
+			return "priority=off"
+		})
+}
+
+// sweepConfigs compiles each kernel once and runs SPEAR-128 variants.
+func sweepConfigs[T any](opts Options, name string, settings []T, apply func(*cpu.Config, T) string) (*AblationResult, error) {
+	res := &AblationResult{Name: name}
+	kernels := opts.Kernels
+	if len(kernels) == 0 {
+		kernels = defaultAblationKernels
+	}
+	for _, kn := range kernels {
+		k, ok := workloads.ByName(kn)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown kernel %q", kn)
+		}
+		prep, err := Prepare(*k, opts)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cpu.Run(prep.Ref, cpu.BaselineConfig())
+		if err != nil {
+			return nil, err
+		}
+		for _, setting := range settings {
+			cfg := cpu.SPEARConfig(128, false)
+			label := apply(&cfg, setting)
+			r, err := cpu.Run(prep.Ref, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, AblationPoint{
+				Kernel:  kn,
+				Setting: label,
+				IPC:     r.IPC,
+				Norm:    r.IPC / base.IPC,
+			})
+		}
+	}
+	return res, nil
+}
+
+func baselineIPC(k workloads.Kernel, opts Options) (float64, error) {
+	prep, err := Prepare(k, opts)
+	if err != nil {
+		return 0, err
+	}
+	r, err := cpu.Run(prep.Ref, cpu.BaselineConfig())
+	if err != nil {
+		return 0, err
+	}
+	return r.IPC, nil
+}
+
+// RenderAblation formats one study.
+func RenderAblation(a *AblationResult) string {
+	t := stats.NewTable("kernel", "setting", "IPC", "vs baseline")
+	last := ""
+	for _, p := range a.Points {
+		if last != "" && p.Kernel != last {
+			t.AddSeparator()
+		}
+		last = p.Kernel
+		t.AddRow(p.Kernel, p.Setting, p.IPC, fmt.Sprintf("%.3f", p.Norm))
+	}
+	return fmt.Sprintf("Ablation: %s\n%s", a.Name, t.String())
+}
+
+// RunAblations executes every ablation study and renders them.
+func RunAblations(opts Options) (string, error) {
+	var b strings.Builder
+	pr, err := AblatePrefetchRange(opts, []float64{30, 60, 120, 240, 480})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(pr))
+	b.WriteByte('\n')
+	ew, err := AblateExtractWidth(opts, []int{1, 2, 4, 8})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(ew))
+	b.WriteByte('\n')
+	to, err := AblateTriggerOccupancy(opts, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(to))
+	b.WriteByte('\n')
+	pp, err := AblatePriority(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(pp))
+	b.WriteByte('\n')
+	rp, err := AblateRegionPolicy(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(rp))
+	b.WriteByte('\n')
+	ps, err := AblatePRUUSize(opts, []int{16, 32, 64, 128})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(ps))
+	b.WriteByte('\n')
+	bp, err := AblatePredictor(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(RenderAblation(bp))
+	return b.String(), nil
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationOpts() Options {
+	opts := DefaultOptions()
+	opts.Kernels = []string{"mcf"}
+	return opts
+}
+
+func TestAblateExtractWidth(t *testing.T) {
+	res, err := AblateExtractWidth(ablationOpts(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// More extraction bandwidth can only help a bandwidth-starved PE.
+	if res.Points[1].IPC < res.Points[0].IPC {
+		t.Errorf("extract=4 (%.3f IPC) worse than extract=1 (%.3f)", res.Points[1].IPC, res.Points[0].IPC)
+	}
+	out := RenderAblation(res)
+	if !strings.Contains(out, "extract=1") || !strings.Contains(out, "mcf") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestAblateTriggerOccupancy(t *testing.T) {
+	res, err := AblateTriggerOccupancy(ablationOpts(), []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Norm <= 1 {
+			t.Errorf("%s: SPEAR below baseline on mcf (%.3f)", p.Setting, p.Norm)
+		}
+	}
+}
+
+func TestAblatePriority(t *testing.T) {
+	res, err := AblatePriority(ablationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	on, off := res.Points[0], res.Points[1]
+	if on.Setting != "priority=on" {
+		on, off = off, on
+	}
+	// Priority should not hurt the p-thread's effectiveness.
+	if on.IPC < 0.98*off.IPC {
+		t.Errorf("priority on (%.3f) notably worse than off (%.3f)", on.IPC, off.IPC)
+	}
+}
+
+func TestAblatePrefetchRange(t *testing.T) {
+	res, err := AblatePrefetchRange(ablationOpts(), []float64{120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Norm <= 1 {
+		t.Fatalf("unexpected points: %+v", res.Points)
+	}
+}
+
+func TestAblationsRejectUnknownKernel(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Kernels = []string{"bogus"}
+	if _, err := AblateExtractWidth(opts, []int{4}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package harness prepares the workloads (assemble, profile, SPEAR-compile)
+// and runs the machine configurations that regenerate every table and
+// figure in the paper's evaluation: Table 1 (benchmark inventory),
+// Figure 6 (normalized IPC for baseline/SPEAR-128/SPEAR-256), Table 3
+// (longer-IFQ sensitivity vs branch behaviour), Figure 7 (separate
+// functional units), Figure 8 (cache-miss reduction), and Figure 9
+// (memory-latency tolerance).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"spear/internal/cpu"
+	"spear/internal/emu"
+	"spear/internal/prog"
+	"spear/internal/spearcc"
+	"spear/internal/workloads"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Kernels restricts the benchmark set (nil = all fifteen).
+	Kernels []string
+	// Compiler overrides the SPEAR compiler options.
+	Compiler spearcc.Options
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+	// Parallel runs independent simulations on multiple goroutines.
+	Parallel int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	opts := Options{Compiler: spearcc.DefaultOptions(), Parallel: 4}
+	// The kernels are scaled down from the paper's hundreds of millions
+	// of instructions; scale the profiling knobs accordingly. The miss
+	// threshold separates truly delinquent loads from cold-miss noise
+	// (e.g. field's resident scan) at our instruction counts.
+	opts.Compiler.Profile.MaxInstr = 4_000_000
+	opts.Compiler.Profile.MissThreshold = 2048
+	return opts
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Prepared is one benchmark ready for simulation: the SPEAR-compiled text
+// with the reference input installed.
+type Prepared struct {
+	Kernel   workloads.Kernel
+	Ref      *prog.Program   // annotated text + reference data
+	Report   *spearcc.Report // compiler diagnostics
+	RefInstr uint64          // reference-input dynamic instruction count
+}
+
+// Prepare builds, profiles, and SPEAR-compiles one kernel.
+func Prepare(k workloads.Kernel, opts Options) (*Prepared, error) {
+	train, err := k.Build(workloads.Train)
+	if err != nil {
+		return nil, err
+	}
+	annotated, report, err := spearcc.Compile(train, opts.Compiler)
+	if err != nil {
+		return nil, fmt.Errorf("harness: compile %s: %w", k.Name, err)
+	}
+	ref, err := k.Build(workloads.Ref)
+	if err != nil {
+		return nil, err
+	}
+	// The SPEAR binary is the annotated text with the reference data.
+	annotated.Data = ref.Data
+	annotated.Name = ref.Name
+	if err := annotated.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", k.Name, err)
+	}
+	m := emu.New(annotated)
+	if err := m.Run(50_000_000); err != nil {
+		return nil, fmt.Errorf("harness: %s ref run: %w", k.Name, err)
+	}
+	return &Prepared{Kernel: k, Ref: annotated, Report: report, RefInstr: m.Count}, nil
+}
+
+// Suite holds every prepared kernel and memoizes simulation results per
+// (kernel, config, hierarchy-latency) so that the figures sharing runs
+// (6, 7, 8, Table 3) do not repeat work.
+type Suite struct {
+	Opts     Options
+	Prepared []*Prepared
+
+	mu    sync.Mutex
+	cache map[string]*cpu.Result
+}
+
+// NewSuite prepares the selected kernels.
+func NewSuite(opts Options) (*Suite, error) {
+	names := opts.Kernels
+	if len(names) == 0 {
+		for _, k := range workloads.All() {
+			names = append(names, k.Name)
+		}
+	}
+	s := &Suite{Opts: opts, cache: map[string]*cpu.Result{}}
+	type slot struct {
+		idx int
+		p   *Prepared
+		err error
+	}
+	results := make([]slot, len(names))
+	sem := make(chan struct{}, max(1, opts.Parallel))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		k, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown kernel %q", name)
+		}
+		wg.Add(1)
+		go func(i int, k workloads.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts.logf("prepare %s", k.Name)
+			p, err := Prepare(k, opts)
+			results[i] = slot{idx: i, p: p, err: err}
+		}(i, *k)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.Prepared = append(s.Prepared, r.p)
+	}
+	return s, nil
+}
+
+// Run simulates one prepared kernel under cfg, memoized.
+func (s *Suite) Run(p *Prepared, cfg cpu.Config) (*cpu.Result, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d", p.Kernel.Name, cfg.Name, cfg.Hierarchy.L2.HitLatency, cfg.Hierarchy.MemLatency)
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	s.Opts.logf("run %s on %s (mem %d)", p.Kernel.Name, cfg.Name, cfg.Hierarchy.MemLatency)
+	r, err := cpu.Run(p.Ref, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, err)
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// RunConfigs simulates p under several configurations concurrently and
+// returns results keyed by config name.
+func (s *Suite) RunConfigs(p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Result, error) {
+	out := make(map[string]*cpu.Result, len(cfgs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, max(1, s.Opts.Parallel))
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg cpu.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := s.Run(p, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			out[cfg.Name] = r
+			mu.Unlock()
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StandardConfigs returns the five machine models of Figures 6 and 7:
+// baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
+func StandardConfigs() []cpu.Config {
+	return []cpu.Config{
+		cpu.BaselineConfig(),
+		cpu.SPEARConfig(128, false),
+		cpu.SPEARConfig(256, false),
+		cpu.SPEARConfig(128, true),
+		cpu.SPEARConfig(256, true),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

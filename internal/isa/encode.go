@@ -1,0 +1,87 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Machine encoding: SPISA instructions encode into a fixed 64-bit word,
+//
+//	bits 63..56: opcode
+//	bits 55..48: Rd
+//	bits 47..40: Rs
+//	bits 39..32: Rt
+//	bits 31..0:  Imm (two's complement)
+//
+// The encoding exists so that programs can be serialized as flat binaries
+// (the form the SPEAR attach tool operates on), and so tests can exercise
+// bit-exact round trips.
+
+// Encode packs the instruction into its 64-bit machine form.
+func Encode(in Instruction) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd)<<48 |
+		uint64(in.Rs)<<40 |
+		uint64(in.Rt)<<32 |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit machine word. It fails on undefined opcodes or
+// out-of-range register fields so corrupted binaries are caught early.
+func Decode(w uint64) (Instruction, error) {
+	in := Instruction{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 48),
+		Rs:  Reg(w >> 40),
+		Rt:  Reg(w >> 32),
+		Imm: int32(uint32(w)),
+	}
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: undefined opcode %d", uint8(in.Op))
+	}
+	for _, r := range [...]Reg{in.Rd, in.Rs, in.Rt} {
+		if int(r) >= NumRegs {
+			return Instruction{}, fmt.Errorf("isa: decode: register %d out of range in %q word", r, in.Op)
+		}
+	}
+	return in, nil
+}
+
+// EncodeText serializes a text segment to bytes (big-endian words).
+func EncodeText(text []Instruction) []byte {
+	out := make([]byte, 8*len(text))
+	for i, in := range text {
+		binary.BigEndian.PutUint64(out[8*i:], Encode(in))
+	}
+	return out
+}
+
+// DecodeText parses a byte-serialized text segment.
+func DecodeText(b []byte) ([]Instruction, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("isa: text segment length %d is not a multiple of 8", len(b))
+	}
+	text := make([]Instruction, len(b)/8)
+	for i := range text {
+		in, err := Decode(binary.BigEndian.Uint64(b[8*i:]))
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		text[i] = in
+	}
+	return text, nil
+}
+
+// OpByName resolves a mnemonic to its opcode; ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); int(op) < NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()

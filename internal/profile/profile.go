@@ -1,0 +1,318 @@
+// Package profile implements the SPEAR compiler's profiling tool (module ②
+// of Figure 4): a functional run of the program against the cache model
+// that (a) counts D-L1 misses per static load to identify delinquent loads,
+// (b) records the dynamic register and memory dependence edges observed on
+// the paths that actually miss ("hybrid slicing" input), and (c) estimates
+// the average cycle cost of one iteration of every loop (the d-cycles used
+// for region selection).
+//
+// As in the paper, the profiling input set is intentionally different from
+// the input set the experiments simulate.
+package profile
+
+import (
+	"fmt"
+
+	"spear/internal/cfg"
+	"spear/internal/emu"
+	"spear/internal/isa"
+	"spear/internal/mem"
+	"spear/internal/prog"
+)
+
+// Config controls a profiling run.
+type Config struct {
+	// Hierarchy is the cache model used for miss counting.
+	Hierarchy mem.HierarchyConfig
+	// MaxInstr bounds each functional pass.
+	MaxInstr uint64
+	// MissThreshold is the minimum number of D-L1 misses a static load
+	// needs to become a delinquent load ("higher than some predetermined
+	// value" in the paper). Loads below it are never d-loads.
+	MissThreshold uint64
+	// MaxDLoads caps how many d-loads are selected (highest miss counts
+	// first). Zero means no cap.
+	MaxDLoads int
+	// Window is the retired-instruction window used to chase dynamic
+	// dependences backwards when a d-load misses.
+	Window int
+}
+
+// DefaultConfig mirrors the paper's setup at our scaled-down instruction
+// counts.
+func DefaultConfig() Config {
+	return Config{
+		Hierarchy:     mem.DefaultHierarchy(),
+		MaxInstr:      30_000_000,
+		MissThreshold: 64,
+		MaxDLoads:     8,
+		Window:        8192,
+	}
+}
+
+// LoadStat describes one static load's profiled behaviour.
+type LoadStat struct {
+	PC     int
+	Execs  uint64
+	Misses uint64
+}
+
+// Result is everything the slicer needs.
+type Result struct {
+	InstrCount uint64
+	LoadStats  map[int]*LoadStat
+	// DLoads are the selected delinquent loads, highest miss count first.
+	DLoads []int
+	// Deps[consumerPC][producerPC] = weight, collected only while chasing
+	// backwards from d-load misses. This realizes the paper's dynamic
+	// control-flow filtering: producers on paths that do not lead to
+	// misses never acquire weight.
+	Deps map[int]map[int]uint64
+	// LoopDCycles[loopID] is the estimated average cycle cost of one
+	// iteration of the loop (inner loops included), the paper's d-cycle.
+	LoopDCycles map[int]float64
+	// LoopIters[loopID] counts header-block executions.
+	LoopIters map[int]uint64
+	// InstrExecs counts retired executions per static instruction.
+	InstrExecs []uint64
+}
+
+// windowEntry is one retired instruction in the dependence window.
+type windowEntry struct {
+	pc    int
+	seq   uint64 // seq+1; 0 means empty
+	nprod int
+	prod  [4]uint64 // producer seq+1 values
+}
+
+// Run profiles the program in two functional passes: the first identifies
+// the delinquent loads; the second collects dependence edges for those
+// loads and the loop d-cycles.
+func Run(p *prog.Program, g *cfg.Graph, cfgc Config) (*Result, error) {
+	if cfgc.Window <= 0 {
+		return nil, fmt.Errorf("profile: window must be positive")
+	}
+	res := &Result{
+		LoadStats:   map[int]*LoadStat{},
+		Deps:        map[int]map[int]uint64{},
+		LoopDCycles: map[int]float64{},
+		LoopIters:   map[int]uint64{},
+		InstrExecs:  make([]uint64, len(p.Text)),
+	}
+	if err := pass1(p, cfgc, res); err != nil {
+		return nil, err
+	}
+	if err := pass2(p, g, cfgc, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pass1 counts per-load misses and selects the delinquent loads.
+func pass1(p *prog.Program, cfgc Config, res *Result) error {
+	hier := mem.NewHierarchy(cfgc.Hierarchy)
+	m := emu.New(p)
+	m.Hook = func(ev *emu.Event) {
+		if !ev.IsMem {
+			return
+		}
+		isLoad := ev.Instr.Op.IsLoad()
+		r := hier.Access(ev.Addr, !isLoad, 0)
+		if !isLoad {
+			return
+		}
+		ls := res.LoadStats[ev.PC]
+		if ls == nil {
+			ls = &LoadStat{PC: ev.PC}
+			res.LoadStats[ev.PC] = ls
+		}
+		ls.Execs++
+		if r.L1Miss {
+			ls.Misses++
+		}
+	}
+	if err := m.Run(cfgc.MaxInstr); err != nil && err != emu.ErrLimit {
+		return fmt.Errorf("profile pass 1: %w", err)
+	}
+	res.InstrCount = m.Count
+
+	for pc, ls := range res.LoadStats {
+		if ls.Misses >= cfgc.MissThreshold {
+			res.DLoads = append(res.DLoads, pc)
+		}
+	}
+	// Sort by miss count descending, then PC ascending, for determinism.
+	for i := 1; i < len(res.DLoads); i++ {
+		for j := i; j > 0; j-- {
+			a, b := res.LoadStats[res.DLoads[j-1]], res.LoadStats[res.DLoads[j]]
+			if b.Misses > a.Misses || (b.Misses == a.Misses && res.DLoads[j] < res.DLoads[j-1]) {
+				res.DLoads[j-1], res.DLoads[j] = res.DLoads[j], res.DLoads[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if cfgc.MaxDLoads > 0 && len(res.DLoads) > cfgc.MaxDLoads {
+		res.DLoads = res.DLoads[:cfgc.MaxDLoads]
+	}
+	return nil
+}
+
+// pass2 re-runs the program collecting dependence edges on d-load misses,
+// per-instruction execution counts, and loop d-cycles.
+func pass2(p *prog.Program, g *cfg.Graph, cfgc Config, res *Result) error {
+	isDLoad := make([]bool, len(p.Text))
+	for _, pc := range res.DLoads {
+		isDLoad[pc] = true
+	}
+
+	hier := mem.NewHierarchy(cfgc.Hierarchy)
+	m := emu.New(p)
+
+	winSize := uint64(cfgc.Window)
+	window := make([]windowEntry, cfgc.Window)
+	lastWriter := make([]uint64, isa.NumRegs) // reg -> seq+1
+	lastStore := map[uint32]uint64{}          // 8-byte-aligned addr -> seq+1
+	const storeAlign = ^uint32(7)
+
+	// Precompute each instruction's chain of enclosing loops
+	// (innermost-first) and whether it starts a loop header block.
+	type loopInfo struct {
+		chain    []int
+		headerOf []int // loops whose header block starts at this pc
+	}
+	infos := make([]loopInfo, len(p.Text))
+	for pc := range p.Text {
+		var li loopInfo
+		for l := g.LoopOf[g.BlockOf[pc]]; l != -1; l = g.Loops[l].Parent {
+			li.chain = append(li.chain, l)
+		}
+		for i := range g.Loops {
+			if g.Blocks[g.Loops[i].Header].Start == pc {
+				li.headerOf = append(li.headerOf, i)
+			}
+		}
+		infos[pc] = li
+	}
+	latAcc := make([]float64, len(g.Loops))
+
+	addEdge := func(cons, prod int) {
+		mm := res.Deps[cons]
+		if mm == nil {
+			mm = map[int]uint64{}
+			res.Deps[cons] = mm
+		}
+		mm[prod]++
+	}
+
+	// chase walks backwards from entry e through window producers,
+	// recording every (consumer, producer) static edge it crosses.
+	var stack []uint64
+	visited := map[uint64]bool{}
+	chase := func(e *windowEntry, seqNow uint64) {
+		stack = stack[:0]
+		for k := range visited {
+			delete(visited, k)
+		}
+		inWindow := func(sp uint64) *windowEntry {
+			if sp == 0 || seqNow-(sp-1) >= winSize {
+				return nil
+			}
+			w := &window[(sp-1)%winSize]
+			if w.seq != sp {
+				return nil
+			}
+			return w
+		}
+		for i := 0; i < e.nprod; i++ {
+			if pe := inWindow(e.prod[i]); pe != nil {
+				addEdge(e.pc, pe.pc)
+				stack = append(stack, e.prod[i])
+			}
+		}
+		for len(stack) > 0 {
+			sp := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[sp] {
+				continue
+			}
+			visited[sp] = true
+			w := inWindow(sp)
+			if w == nil {
+				continue
+			}
+			for i := 0; i < w.nprod; i++ {
+				if pe := inWindow(w.prod[i]); pe != nil {
+					addEdge(w.pc, pe.pc)
+					stack = append(stack, w.prod[i])
+				}
+			}
+		}
+	}
+
+	var srcBuf [4]isa.Reg
+	m.Hook = func(ev *emu.Event) {
+		pc := ev.PC
+		in := ev.Instr
+		res.InstrExecs[pc]++
+		li := &infos[pc]
+
+		for _, l := range li.headerOf {
+			res.LoopIters[l]++
+		}
+
+		// Latency estimate: fixed op latency; loads pay the modelled
+		// cache access latency.
+		lat := float64(in.Op.Latency())
+		missed := false
+		if ev.IsMem {
+			r := hier.Access(ev.Addr, in.Op.IsStore(), 0)
+			if in.Op.IsLoad() {
+				lat = float64(r.Latency)
+				missed = r.L1Miss
+			}
+		}
+		for _, l := range li.chain {
+			latAcc[l] += lat
+		}
+
+		// Dependence window update.
+		seq := ev.Seq
+		e := &window[seq%winSize]
+		e.pc = pc
+		e.seq = seq + 1
+		e.nprod = 0
+		for _, r := range in.Sources(srcBuf[:0]) {
+			if w := lastWriter[r]; w != 0 && e.nprod < len(e.prod) {
+				e.prod[e.nprod] = w
+				e.nprod++
+			}
+		}
+		if in.Op.IsLoad() {
+			if w, ok := lastStore[ev.Addr&storeAlign]; ok && e.nprod < len(e.prod) {
+				e.prod[e.nprod] = w
+				e.nprod++
+			}
+		}
+		if in.Op.IsStore() {
+			lastStore[ev.Addr&storeAlign] = seq + 1
+		}
+		if rd, ok := in.Dest(); ok {
+			lastWriter[rd] = seq + 1
+		}
+
+		if missed && isDLoad[pc] {
+			chase(e, seq)
+		}
+	}
+	if err := m.Run(cfgc.MaxInstr); err != nil && err != emu.ErrLimit {
+		return fmt.Errorf("profile pass 2: %w", err)
+	}
+
+	for l := range latAcc {
+		if it := res.LoopIters[l]; it > 0 {
+			res.LoopDCycles[l] = latAcc[l] / float64(it)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"spear/internal/isa"
+)
+
+// Binary serialization of SPEAR executables. The format is what
+// cmd/spearcc writes and cmd/spearsim loads; a baseline binary is simply a
+// SPEAR binary with an empty p-thread table.
+//
+//	magic "SPEARBIN" | version u32 | name | entry u32
+//	| text:  count u32, count*8 bytes big-endian encoded instructions
+//	| data:  count u32, then per chunk addr u32, len u32, bytes
+//	| syms:  count u32, then per symbol name, addr u32
+//	| labels:count u32, then per label name, index u32
+//	| pthreads: count u32, then per p-thread:
+//	    dload u32, regionStart u32, regionEnd u32, dcycle f64 bits,
+//	    members count u32 + u32 each, liveins count u32 + u8 each
+
+const (
+	magic   = "SPEARBIN"
+	version = 1
+)
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) str(s string)   { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *writer) bytes(b []byte) { w.u32(uint32(len(b))); w.buf.Write(b) }
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("prog: "+format, args...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.fail("truncated binary (need %d bytes at offset %d)", n, r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > uint32(len(r.b)) {
+		r.fail("string length %d exceeds file size", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// Marshal serializes the program.
+func Marshal(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var w writer
+	w.buf.WriteString(magic)
+	w.u32(version)
+	w.str(p.Name)
+	w.u32(uint32(p.Entry))
+
+	w.u32(uint32(len(p.Text)))
+	w.buf.Write(isa.EncodeText(p.Text))
+
+	w.u32(uint32(len(p.Data)))
+	for _, d := range p.Data {
+		w.u32(d.Addr)
+		w.bytes(d.Bytes)
+	}
+
+	w.u32(uint32(len(p.Symbols)))
+	for _, name := range sortedKeys(p.Symbols) {
+		w.str(name)
+		w.u32(p.Symbols[name])
+	}
+
+	w.u32(uint32(len(p.Labels)))
+	for _, name := range sortedKeys(p.Labels) {
+		w.str(name)
+		w.u32(uint32(p.Labels[name]))
+	}
+
+	w.u32(uint32(len(p.PThreads)))
+	for _, pt := range p.PThreads {
+		w.u32(uint32(pt.DLoad))
+		w.u32(uint32(pt.RegionStart))
+		w.u32(uint32(pt.RegionEnd))
+		w.u64(uint64(float64bits(pt.DCycle)))
+		w.u32(uint32(len(pt.Members)))
+		for _, m := range pt.Members {
+			w.u32(uint32(m))
+		}
+		w.u32(uint32(len(pt.LiveIns)))
+		for _, li := range pt.LiveIns {
+			w.buf.WriteByte(byte(li))
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+// Unmarshal parses a serialized program and validates it.
+func Unmarshal(b []byte) (*Program, error) {
+	r := &reader{b: b}
+	if string(r.take(len(magic))) != magic {
+		return nil, fmt.Errorf("prog: bad magic (not a SPEAR binary)")
+	}
+	if v := r.u32(); v != version {
+		return nil, fmt.Errorf("prog: unsupported version %d", v)
+	}
+	p := &Program{
+		Symbols: map[string]uint32{},
+		Labels:  map[string]int{},
+	}
+	p.Name = r.str()
+	p.Entry = int(r.u32())
+
+	nText := int(r.u32())
+	raw := r.take(8 * nText)
+	if r.err != nil {
+		return nil, r.err
+	}
+	text, err := isa.DecodeText(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.Text = text
+
+	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+		addr := r.u32()
+		blen := int(r.u32())
+		data := r.take(blen)
+		p.Data = append(p.Data, DataChunk{Addr: addr, Bytes: append([]byte(nil), data...)})
+	}
+	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+		name := r.str()
+		p.Symbols[name] = r.u32()
+	}
+	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+		name := r.str()
+		p.Labels[name] = int(r.u32())
+	}
+	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+		var pt PThread
+		pt.DLoad = int(r.u32())
+		pt.RegionStart = int(r.u32())
+		pt.RegionEnd = int(r.u32())
+		pt.DCycle = float64frombits(r.u64())
+		for j, m := 0, int(r.u32()); j < m && r.err == nil; j++ {
+			pt.Members = append(pt.Members, int(r.u32()))
+		}
+		for j, m := 0, int(r.u32()); j < m && r.err == nil; j++ {
+			bb := r.take(1)
+			if bb != nil {
+				pt.LiveIns = append(pt.LiveIns, isa.Reg(bb[0]))
+			}
+		}
+		p.PThreads = append(p.PThreads, pt)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteTo serializes p to w.
+func WriteTo(w io.Writer, p *Program) error {
+	b, err := Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrom parses a program from r.
+func ReadFrom(r io.Reader) (*Program, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,198 @@
+// Package slicer implements the SPEAR compiler's program-slicing module
+// (module ③ of Figure 4). For every delinquent load it chases the backward
+// slice along the *dynamic* dependence edges the profiler observed on miss
+// paths — the hybrid slicing method — and bounds the slice by a
+// region-based prefetching range built from loop d-cycles (the paper's
+// empirically chosen criterion of 120 cycles), never crossing function
+// calls. The result is the p-thread annotation set that the attach tool
+// embeds in the SPEAR binary.
+package slicer
+
+import (
+	"sort"
+
+	"spear/internal/cfg"
+	"spear/internal/isa"
+	"spear/internal/profile"
+	"spear/internal/prog"
+)
+
+// RegionPolicy selects how the prefetching region is chosen — the paper
+// uses the accumulated-d-cycle rule and names "more algorithms on the
+// region selection" as future work, so the alternatives are exposed for
+// ablation.
+type RegionPolicy int
+
+const (
+	// RegionDCycle expands from the innermost loop until the accumulated
+	// d-cycle reaches the threshold (the paper's rule).
+	RegionDCycle RegionPolicy = iota
+	// RegionInnermost always uses the innermost loop.
+	RegionInnermost
+	// RegionOutermost always uses the outermost enclosing loop.
+	RegionOutermost
+)
+
+func (r RegionPolicy) String() string {
+	switch r {
+	case RegionInnermost:
+		return "innermost"
+	case RegionOutermost:
+		return "outermost"
+	}
+	return "d-cycle"
+}
+
+// Config tunes p-thread construction.
+type Config struct {
+	// Region selects the region policy (default: the paper's d-cycle rule).
+	Region RegionPolicy
+	// DCycleThreshold is the accumulated d-cycle target for the
+	// prefetching range; outer loops are added until the region's
+	// expected delay reaches it. The paper uses 120.
+	DCycleThreshold float64
+	// EdgeWeightFraction drops dynamic dependence edges observed on
+	// fewer than this fraction of the d-load's misses: the dynamic
+	// control-flow filter of Figure 5 (rarely-taken producer paths do
+	// not join the p-thread).
+	EdgeWeightFraction float64
+	// MaxPThreadSize, when positive, drops p-threads larger than this
+	// many instructions (a heavy p-thread runs too slowly to help; cf.
+	// the paper's fft discussion). Zero keeps everything.
+	MaxPThreadSize int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		DCycleThreshold:    120,
+		EdgeWeightFraction: 0.05,
+		MaxPThreadSize:     0,
+	}
+}
+
+// Report describes one d-load's slicing outcome, for diagnostics.
+type Report struct {
+	DLoad     int
+	Misses    uint64
+	Skipped   bool
+	Reason    string
+	PThread   prog.PThread
+	RegionLID int // selected loop ID
+}
+
+// Build constructs p-threads for every selected delinquent load.
+func Build(p *prog.Program, g *cfg.Graph, res *profile.Result, cfgc Config) ([]prog.PThread, []Report) {
+	var pthreads []prog.PThread
+	var reports []Report
+	for _, dload := range res.DLoads {
+		rep := buildOne(p, g, res, cfgc, dload)
+		reports = append(reports, rep)
+		if !rep.Skipped {
+			pthreads = append(pthreads, rep.PThread)
+		}
+	}
+	return pthreads, reports
+}
+
+func buildOne(p *prog.Program, g *cfg.Graph, res *profile.Result, cfgc Config, dload int) Report {
+	rep := Report{DLoad: dload}
+	if ls := res.LoadStats[dload]; ls != nil {
+		rep.Misses = ls.Misses
+	}
+
+	// Region selection: start at the innermost loop holding the d-load
+	// and, under the paper's policy, add outer loops until the
+	// accumulated d-cycle reaches the threshold. Function calls bound
+	// the region implicitly because loops are intra-procedural.
+	loop := g.InnermostLoopAt(dload)
+	if loop == -1 {
+		rep.Skipped = true
+		rep.Reason = "delinquent load is not inside any loop"
+		return rep
+	}
+	acc := res.LoopDCycles[loop]
+	switch cfgc.Region {
+	case RegionInnermost:
+		// keep the innermost loop
+	case RegionOutermost:
+		for g.Loops[loop].Parent != -1 {
+			loop = g.Loops[loop].Parent
+		}
+		acc = res.LoopDCycles[loop]
+	default:
+		for acc < cfgc.DCycleThreshold {
+			parent := g.Loops[loop].Parent
+			if parent == -1 {
+				break
+			}
+			loop = parent
+			acc = res.LoopDCycles[loop]
+		}
+	}
+	lo, hi := g.LoopInstrRange(loop)
+	rep.RegionLID = loop
+
+	// Backward slice over dynamic dependence edges, restricted to the
+	// region and filtered by edge weight.
+	minWeight := uint64(1)
+	if w := uint64(cfgc.EdgeWeightFraction * float64(rep.Misses)); w > minWeight {
+		minWeight = w
+	}
+	members := map[int]bool{dload: true}
+	stack := []int{dload}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for prod, w := range res.Deps[c] {
+			if w < minWeight || prod < lo || prod > hi || members[prod] {
+				continue
+			}
+			members[prod] = true
+			stack = append(stack, prod)
+		}
+	}
+	if cfgc.MaxPThreadSize > 0 && len(members) > cfgc.MaxPThreadSize {
+		rep.Skipped = true
+		rep.Reason = "p-thread exceeds size cap"
+		return rep
+	}
+
+	sorted := make([]int, 0, len(members))
+	for m := range members {
+		sorted = append(sorted, m)
+	}
+	sort.Ints(sorted)
+
+	rep.PThread = prog.PThread{
+		DLoad:       dload,
+		Members:     sorted,
+		LiveIns:     liveIns(p, sorted),
+		RegionStart: lo,
+		RegionEnd:   hi,
+		DCycle:      acc,
+	}
+	return rep
+}
+
+// liveIns returns every register any p-thread member reads — the values
+// the trigger hardware copies from the main thread. The set is
+// deliberately conservative: extraction begins wherever the IFQ head
+// happens to be (usually mid-loop), so even a register that a member
+// defines before the program-order first read (an inner induction
+// variable, say) needs a valid initial value.
+func liveIns(p *prog.Program, members []int) []isa.Reg {
+	live := map[isa.Reg]bool{}
+	var srcs [4]isa.Reg
+	for _, pc := range members {
+		for _, r := range p.Text[pc].Sources(srcs[:0]) {
+			live[r] = true
+		}
+	}
+	out := make([]isa.Reg, 0, len(live))
+	for r := range live {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,60 @@
+package spearcc
+
+import (
+	"strings"
+	"testing"
+
+	"spear/internal/slicer"
+)
+
+func TestDescribeIncludesSkips(t *testing.T) {
+	p := buildKernel(t, 77)
+	opts := testOptions()
+	opts.Slice.MaxPThreadSize = 1 // force every slice to be skipped
+	out, rep, err := Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PThreads) != 0 {
+		t.Fatal("expected all slices skipped")
+	}
+	desc := rep.Describe(out)
+	if !strings.Contains(desc, "skipped") || !strings.Contains(desc, "size cap") {
+		t.Errorf("Describe does not explain the skip:\n%s", desc)
+	}
+}
+
+func TestCompileRejectsInvalidInput(t *testing.T) {
+	p := buildKernel(t, 78)
+	p.Entry = 9999
+	if _, _, err := Compile(p, testOptions()); err == nil {
+		t.Error("invalid binary accepted")
+	}
+}
+
+func TestCompileWithRegionPolicies(t *testing.T) {
+	for _, pol := range []slicer.RegionPolicy{slicer.RegionInnermost, slicer.RegionDCycle, slicer.RegionOutermost} {
+		opts := testOptions()
+		opts.Slice.Region = pol
+		out, _, err := Compile(buildKernel(t, 79), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if len(out.PThreads) == 0 {
+			t.Errorf("%v: no p-threads", pol)
+		}
+	}
+}
+
+func TestReportExposesGraphAndProfile(t *testing.T) {
+	_, rep, err := Compile(buildKernel(t, 80), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph == nil || len(rep.Graph.Loops) == 0 {
+		t.Error("report missing CFG")
+	}
+	if rep.ProfileData == nil || rep.Profiled == 0 {
+		t.Error("report missing profile data")
+	}
+}

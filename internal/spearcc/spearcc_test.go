@@ -1,0 +1,285 @@
+package spearcc
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spear/internal/asm"
+	"spear/internal/cfg"
+	"spear/internal/profile"
+	"spear/internal/prog"
+	"spear/internal/slicer"
+)
+
+// irregularKernel is a classic pre-execution target: a sequential index
+// array drives random accesses into a table larger than the L2. The second
+// load is the delinquent one; its backward slice is the address chain.
+const irregularKernel = `
+        .data
+idx:    .space 32768        # 4096 * 8 index entries
+tbl:    .space 4194304      # 512K * 8 bytes, far larger than L2
+        .text
+main:   la   r1, idx
+        la   r2, tbl
+        li   r3, 0
+        li   r4, 4096
+loop:   slli r5, r3, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)       # index load: sequential, mostly hits
+        slli r8, r7, 3
+        add  r9, r2, r8
+dload:  ld   r10, 0(r9)      # delinquent load: random, misses
+        add  r11, r11, r10
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+
+// buildKernel assembles the kernel and fills the index array with a random
+// permutation-ish pattern seeded by seed.
+func buildKernel(t *testing.T, seed int64) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("irregular.s", irregularKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	idxOff := p.Symbols["idx"] - p.Data[0].Addr
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint64(p.Data[0].Bytes[idxOff+uint32(8*i):], uint64(r.Intn(512*1024)))
+	}
+	return p
+}
+
+func testOptions() Options {
+	opts := DefaultOptions()
+	opts.Profile.MaxInstr = 2_000_000
+	opts.Profile.MissThreshold = 64
+	return opts
+}
+
+func TestProfileIdentifiesDLoad(t *testing.T) {
+	p := buildKernel(t, 1)
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := profile.Run(p, g, testOptions().Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dload := p.Labels["dload"]
+	if len(res.DLoads) == 0 {
+		t.Fatal("no delinquent loads found")
+	}
+	if res.DLoads[0] != dload {
+		t.Errorf("top d-load = %d, want %d (dload label)", res.DLoads[0], dload)
+	}
+	ls := res.LoadStats[dload]
+	if ls == nil || ls.Execs != 4096 {
+		t.Fatalf("dload stats = %+v", ls)
+	}
+	if float64(ls.Misses)/float64(ls.Execs) < 0.5 {
+		t.Errorf("dload miss rate %.2f suspiciously low", float64(ls.Misses)/float64(ls.Execs))
+	}
+	// The sequential index load must miss far less.
+	idxLoad := p.Labels["loop"] + 2
+	if il := res.LoadStats[idxLoad]; il != nil && il.Misses >= ls.Misses {
+		t.Errorf("index load misses (%d) >= d-load misses (%d)", il.Misses, ls.Misses)
+	}
+}
+
+func TestProfileLoopDCycles(t *testing.T) {
+	p := buildKernel(t, 2)
+	g, _ := cfg.Build(p)
+	res, err := profile.Run(p, g, testOptions().Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	iters := res.LoopIters[0]
+	if iters != 4096 {
+		t.Errorf("loop iterations = %d, want 4096", iters)
+	}
+	// Each iteration has 10 instructions, one of which usually misses to
+	// memory (~133 cycles): the d-cycle must be dominated by the miss.
+	dc := res.LoopDCycles[0]
+	if dc < 50 || dc > 400 {
+		t.Errorf("loop d-cycle = %.1f, expected roughly 100-200", dc)
+	}
+}
+
+func TestProfileDependenceEdges(t *testing.T) {
+	p := buildKernel(t, 3)
+	g, _ := cfg.Build(p)
+	res, err := profile.Run(p, g, testOptions().Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dload := p.Labels["dload"]
+	// The d-load must depend on "add r9, r2, r8".
+	if res.Deps[dload] == nil || res.Deps[dload][dload-1] == 0 {
+		t.Fatalf("missing dependence edge dload -> address add: %v", res.Deps[dload])
+	}
+	// And transitively the index load feeds the chain.
+	idxLoad := p.Labels["loop"] + 2
+	found := false
+	for _, prods := range res.Deps {
+		if prods[idxLoad] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index load never appears as a producer on the miss path")
+	}
+}
+
+func TestSlicerBuildsPThread(t *testing.T) {
+	p := buildKernel(t, 4)
+	g, _ := cfg.Build(p)
+	opts := testOptions()
+	res, err := profile.Run(p, g, opts.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pthreads, reports := slicer.Build(p, g, res, opts.Slice)
+	if len(pthreads) == 0 {
+		t.Fatalf("no p-threads built; reports: %+v", reports)
+	}
+	pt := pthreads[0]
+	dload := p.Labels["dload"]
+	if pt.DLoad != dload {
+		t.Errorf("p-thread d-load = %d, want %d", pt.DLoad, dload)
+	}
+	if !pt.HasMember(dload) {
+		t.Error("d-load not a member")
+	}
+	lo, hi := p.Labels["loop"], p.Labels["loop"]+9
+	for _, m := range pt.Members {
+		if m < lo || m > hi {
+			t.Errorf("member %d outside loop region [%d,%d]", m, lo, hi)
+		}
+	}
+	// The address chain must be in the slice: slli r8 / add r9.
+	for _, want := range []int{dload - 1, dload - 2} {
+		if !pt.HasMember(want) {
+			t.Errorf("address-chain instruction %d missing from slice", want)
+		}
+	}
+	// The p-thread must be a proper subset of the loop body (lighter
+	// than the main thread): it must exclude the consumer add r11.
+	if pt.HasMember(dload + 1) {
+		t.Error("slice includes the d-load consumer; it should be backward only")
+	}
+	// Live-ins must include the table base r2 (never defined in-loop).
+	foundR2 := false
+	for _, r := range pt.LiveIns {
+		if r == 2 {
+			foundR2 = true
+		}
+	}
+	if !foundR2 {
+		t.Errorf("live-ins %v missing table base r2", pt.LiveIns)
+	}
+}
+
+func TestSlicerSizeCap(t *testing.T) {
+	p := buildKernel(t, 5)
+	g, _ := cfg.Build(p)
+	opts := testOptions()
+	res, err := profile.Run(p, g, opts.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Slice.MaxPThreadSize = 1 // impossible: every slice has >1 instr
+	pthreads, reports := slicer.Build(p, g, res, opts.Slice)
+	if len(pthreads) != 0 {
+		t.Error("size cap did not drop oversized p-thread")
+	}
+	if len(reports) == 0 || !reports[0].Skipped {
+		t.Error("report does not mark the skip")
+	}
+}
+
+func TestSlicerSkipsLoadOutsideLoops(t *testing.T) {
+	src := `
+        .data
+v:      .space 64
+        .text
+main:   ld r1, v(r0)
+        halt
+`
+	p, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := cfg.Build(p)
+	res := &profile.Result{
+		LoadStats: map[int]*profile.LoadStat{0: {PC: 0, Misses: 1000, Execs: 1000}},
+		DLoads:    []int{0},
+		Deps:      map[int]map[int]uint64{},
+	}
+	pthreads, reports := slicer.Build(p, g, res, slicer.DefaultConfig())
+	if len(pthreads) != 0 {
+		t.Error("built a p-thread for a load outside any loop")
+	}
+	if !reports[0].Skipped || !strings.Contains(reports[0].Reason, "loop") {
+		t.Errorf("report = %+v", reports[0])
+	}
+}
+
+func TestCompileEndToEnd(t *testing.T) {
+	train := buildKernel(t, 10)
+	out, rep, err := Compile(train, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("SPEAR binary invalid: %v", err)
+	}
+	if len(out.PThreads) == 0 {
+		t.Fatal("no p-threads attached")
+	}
+	if len(train.PThreads) != 0 {
+		t.Error("Compile mutated its input")
+	}
+	// Text must be byte-identical: the p-thread is a strict subset of
+	// the main program, not duplicated code.
+	for i := range train.Text {
+		if out.Text[i] != train.Text[i] {
+			t.Fatalf("attach modified text at %d", i)
+		}
+	}
+	desc := rep.Describe(out)
+	if !strings.Contains(desc, "delinquent load") || !strings.Contains(desc, "p-thread") {
+		t.Errorf("Describe output incomplete:\n%s", desc)
+	}
+	// Round-trip the SPEAR binary through serialization.
+	b, err := prog.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := prog.Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PThreads) != len(out.PThreads) {
+		t.Error("p-thread table lost in serialization")
+	}
+}
+
+func TestAttachSortsByDLoad(t *testing.T) {
+	p := buildKernel(t, 11)
+	pts := []prog.PThread{
+		{DLoad: p.Labels["dload"], Members: []int{p.Labels["dload"]}},
+		{DLoad: p.Labels["loop"] + 2, Members: []int{p.Labels["loop"] + 2}},
+	}
+	out := Attach(p, pts)
+	if out.PThreads[0].DLoad > out.PThreads[1].DLoad {
+		t.Error("p-threads not sorted by d-load PC")
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should return 0")
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Error("GeoMean with negative should return 0")
+	}
+}
+
+func TestGeoMeanLeqArithMean(t *testing.T) {
+	// AM-GM inequality as a property test.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupPercent(t *testing.T) {
+	if got := SpeedupPercent(1.127); math.Abs(got-12.7) > 1e-9 {
+		t.Errorf("SpeedupPercent = %v", got)
+	}
+	if got := SpeedupPercent(0.94); math.Abs(got+6) > 1e-9 {
+		t.Errorf("SpeedupPercent = %v", got)
+	}
+}
+
+func TestReductionPercent(t *testing.T) {
+	if got := ReductionPercent(100, 61); math.Abs(got-39) > 1e-9 {
+		t.Errorf("ReductionPercent = %v", got)
+	}
+	if ReductionPercent(0, 5) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddSeparator()
+	tab.AddRow("beta-longer", 42)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Error("header missing")
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("header rule missing")
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float not formatted: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "---") {
+		t.Error("separator missing")
+	}
+	// Column alignment: all lines the same width.
+	w := len(lines[1])
+	for _, l := range lines {
+		if len(l) > w {
+			t.Errorf("line wider than rule: %q", l)
+		}
+	}
+}
+
+func TestTableHandlesShortRows(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow("only-one")
+	if out := tab.String(); !strings.Contains(out, "only-one") {
+		t.Error("short row dropped")
+	}
+}

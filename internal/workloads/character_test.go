@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"testing"
+
+	"spear/internal/cpu"
+)
+
+// Character tests: each kernel must land in the behavioural regime its
+// namesake has in the paper, because the whole reproduction hinges on
+// those properties (miss intensity, branch predictability, slice shape).
+// These run the cycle simulator, so they are skipped in -short mode.
+
+func baselineFor(t *testing.T, name string) *cpu.Result {
+	t.Helper()
+	k, ok := ByName(name)
+	if !ok {
+		t.Fatalf("kernel %s missing", name)
+	}
+	p, err := k.Build(Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.Run(p, cpu.BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBranchCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-simulation character tests skipped in -short mode")
+	}
+	// Paper Table 3 hit ratios, as targets with tolerance. Kernels whose
+	// branches are pure loop control sit near 1.0; the data-dependent
+	// ones must land near their engineered bias.
+	cases := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"pointer", 0.99, 1.0},
+		{"matrix", 0.99, 1.0},
+		{"nbh", 0.99, 1.0},
+		{"art", 0.99, 1.0},
+		{"update", 0.82, 0.95},
+		{"tr", 0.85, 0.96},
+		{"mcf", 0.90, 0.98},
+		{"vpr", 0.78, 0.92},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			res := baselineFor(t, c.name)
+			if res.BranchRatio < c.lo || res.BranchRatio > c.hi {
+				t.Errorf("branch hit ratio %.4f outside [%.2f, %.2f]", res.BranchRatio, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestMissCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-simulation character tests skipped in -short mode")
+	}
+	type span struct{ lo, hi float64 } // misses per 1000 instructions
+	cases := map[string]span{
+		"mcf":   {50, 200}, // most memory-bound
+		"art":   {50, 150}, // streaming misses every iteration
+		"field": {0, 5},    // resident: miss rate too low to benefit
+		"fft":   {30, 120},
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := baselineFor(t, name)
+			mpki := 1000 * float64(res.MainL1Misses()) / float64(res.MainCommitted)
+			if mpki < want.lo || mpki > want.hi {
+				t.Errorf("misses per kilo-instruction %.1f outside [%.0f, %.0f]", mpki, want.lo, want.hi)
+			}
+		})
+	}
+}
+
+func TestMemoryBoundKernelsHaveLowBaselineIPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-simulation character tests skipped in -short mode")
+	}
+	for _, name := range []string{"mcf", "tr", "vpr", "dm"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := baselineFor(t, name)
+			if res.IPC > 1.6 {
+				t.Errorf("baseline IPC %.2f too high for a memory-bound kernel", res.IPC)
+			}
+		})
+	}
+	t.Run("field", func(t *testing.T) {
+		t.Parallel()
+		res := baselineFor(t, "field")
+		if res.IPC < 3 {
+			t.Errorf("field baseline IPC %.2f; should be compute-bound", res.IPC)
+		}
+	})
+}

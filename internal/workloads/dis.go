@@ -1,0 +1,230 @@
+package workloads
+
+import "spear/internal/prog"
+
+// The three DIS (Data-Intensive Systems) benchmark kernels.
+
+func init() {
+	register(dmKernel())
+	register(rayKernel())
+	register(fftKernel())
+}
+
+// dm: data management — hash-table probing with a bucket chain: a gather
+// into the bucket array, a comparison branch, and a dependent overflow
+// probe. Low IPB, mixed branch behaviour (~0.89).
+func dmKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+keys:   .space 524288        # 64K keys
+bkt:    .space 2097152       # 256K buckets of 8 bytes
+ovf:    .space 2097152       # overflow area
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, keys
+        la   r2, bkt
+        la   r14, ovf
+        li   r3, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x7FFF8
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # key stream
+        mul  r8, r7, r7
+        srli r8, r8, 7
+        andi r8, r8, 0xFFFF
+        slli r8, r8, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)         # delinquent bucket probe
+        andi r11, r10, 1
+        beqz r11, hit           # ~80% taken: key not in first slot
+        andi r12, r10, 0xFFFF
+        slli r12, r12, 3
+        add  r13, r14, r12
+        ld   r15, 0(r13)        # dependent overflow probe
+        xor  r16, r16, r15
+hit:    add  r17, r17, r10
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "dm",
+		Suite:       "dis",
+		Description: "DIS data management: hash probe into 2 MiB buckets with dependent overflow probes",
+		Character:   "low IPB (~5), branch hit ~0.89, two-level gather slice; modest SPEAR gain",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("dm", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("dm", in)
+			iters := 45000
+			if in == Train {
+				iters = 14000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 65536; i++ {
+				f.U64("keys", i, uint64(r.Int63()))
+			}
+			bits := biasedBits(r, 0.80)
+			for i := 0; i < 256*1024; i++ {
+				f.U64("bkt", i, uint64(r.Intn(1<<18))<<1|bits()&1|uint64(r.Intn(1<<18))<<32)
+			}
+			for i := 0; i < 256*1024; i++ {
+				f.U64("ovf", i, uint64(r.Int63()))
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// ray: ray tracing — per-ray floating-point setup (including a divide)
+// computes a grid cell, whose contents are gathered and shaded with FP
+// arithmetic. Long FP latencies partially mask memory latency.
+func rayKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+one:    .double 1.0
+half:   .double 0.5
+scale:  .double 262143.0
+rays:   .space 524288        # 64K ray parameters (doubles in (0,1))
+grid:   .space 2097152       # 256K cells
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, rays
+        la   r2, grid
+        fld  f10, one(r0)
+        fld  f11, half(r0)
+        fld  f12, scale(r0)
+        li   r3, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x7FFF8
+        add  r6, r1, r5
+        fld  f1, 0(r6)          # ray direction component
+        fadd f2, f1, f11
+        fdiv f3, f10, f2        # 1/(d+0.5): slow FP in the slice
+        fmul f4, f3, f11
+        fmul f5, f4, f12
+        cvtdl r8, f5            # cell index
+        andi r8, r8, 0x3FFFF
+        slli r8, r8, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)         # delinquent cell fetch
+        and  r11, r10, r8
+        add  r12, r12, r11
+        fadd f6, f6, f4         # shading accumulation
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "ray",
+		Suite:       "dis",
+		Description: "DIS ray tracing: FP ray setup (with divide) locating cells gathered from a 2 MiB grid",
+		Character:   "FP-heavy slice with fdiv; long FP latencies mask memory; modest, stable gain",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("ray", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("ray", in)
+			iters := 40000
+			if in == Train {
+				iters = 12000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 65536; i++ {
+				f.F64("rays", i, r.Float64())
+			}
+			for i := 0; i < 256*1024; i++ {
+				f.U64("grid", i, uint64(r.Int63()))
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// fft: the butterfly's bit-reversed addressing is computed inline with a
+// long shift/mask chain, so the backward slice is nearly the whole loop
+// body — the heavy-p-thread case the paper reports as a slight loss
+// (their fft p-threads reached 1,129 instructions).
+func fftKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+re:     .space 524288        # 64K doubles (real part)
+im:     .space 524288        # 64K doubles (imag part)
+tw:     .space 8192          # twiddle factors (resident)
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, re
+        la   r2, im
+        la   r14, tw
+        li   r3, 0
+loop:   andi r5, r3, 0xFFFF     # 16-bit index
+        # ---- inline 16-bit bit reversal (the long address slice) ----
+        srli r6, r5, 1
+        andi r6, r6, 0x5555
+        andi r7, r5, 0x5555
+        slli r7, r7, 1
+        or   r5, r6, r7
+        srli r6, r5, 2
+        andi r6, r6, 0x3333
+        andi r7, r5, 0x3333
+        slli r7, r7, 2
+        or   r5, r6, r7
+        srli r6, r5, 4
+        andi r6, r6, 0x0F0F
+        andi r7, r5, 0x0F0F
+        slli r7, r7, 4
+        or   r5, r6, r7
+        srli r6, r5, 8
+        slli r7, r5, 8
+        andi r7, r7, 0xFF00
+        or   r5, r6, r7
+        # ---- butterfly ----
+        slli r8, r5, 3
+        add  r9, r1, r8
+        fld  f1, 0(r9)          # delinquent bit-reversed load
+        add  r10, r2, r8
+        fld  f2, 0(r10)
+        andi r11, r3, 0x3F8
+        add  r12, r14, r11
+        fld  f3, 0(r12)         # twiddle (resident)
+        fmul f4, f1, f3
+        fmul f5, f2, f3
+        fadd f6, f6, f4
+        fsub f7, f7, f5
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "fft",
+		Suite:       "dis",
+		Description: "DIS FFT: butterflies with inline bit-reversed addressing over 1 MiB of complex data",
+		Character:   "the slice is almost the whole body: the p-thread is too heavy, SPEAR slightly loses",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("fft", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("fft", in)
+			iters := 35000
+			if in == Train {
+				iters = 11000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 65536; i++ {
+				f.F64("re", i, r.Float64()*2-1)
+				f.F64("im", i, r.Float64()*2-1)
+			}
+			for i := 0; i < 1024; i++ {
+				f.F64("tw", i, r.Float64())
+			}
+			return p, f.Err()
+		},
+	}
+}

@@ -1,0 +1,375 @@
+package workloads
+
+import "spear/internal/prog"
+
+// The six Atlantic Aerospace Stressmark kernels. Each reproduces the
+// memory/branch character the paper reports for its namesake (Table 3 and
+// the Figure 6 discussion).
+
+func init() {
+	register(pointerKernel())
+	register(updateKernel())
+	register(nbhKernel())
+	register(trKernel())
+	register(matrixKernel())
+	register(fieldKernel())
+}
+
+// pointer: irregular gathers driven by a value stream — the memory-bound,
+// well-sliceable case where pre-execution shines and stays robust under
+// long latencies (Figure 9).
+func pointerKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+seq:    .space 524288        # 64K value stream entries
+tbl:    .space 4194304       # 512K-entry table, 16x the L2
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, seq
+        la   r2, tbl
+        li   r3, 0
+        li   r11, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x7FFF8
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # value stream (near-sequential)
+        andi r8, r7, 0x7FFFF
+        slli r8, r8, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)         # delinquent gather
+        xor  r11, r11, r10
+        add  r12, r12, r7
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "pointer",
+		Suite:       "stressmark",
+		Description: "pointer stressmark: value stream driving random 8-byte gathers over a 4 MiB region",
+		Character:   "high miss rate, small slice, near-perfect branches; strong SPEAR gain",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("pointer", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("pointer", in)
+			iters := 60000
+			if in == Train {
+				iters = 18000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 65536; i++ {
+				f.U64("seq", i, uint64(r.Int63()))
+			}
+			for i := 0; i < 512*1024; i++ {
+				f.U64("tbl", i, uint64(r.Int63()))
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// update: random read-modify-write with a data-dependent branch biased at
+// ~0.89 — the case whose p-thread suffers from mispredicted fetch with the
+// longer IFQ (Table 3 reports 0.94x for SPEAR-256/128).
+func updateKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+seq:    .space 524288
+tbl:    .space 4194304
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, seq
+        la   r2, tbl
+        li   r3, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x7FFF8
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # update descriptor
+        srli r8, r7, 1
+        andi r8, r8, 0x7FFFF
+        slli r8, r8, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)         # delinquent read of the cell
+        andi r13, r7, 1
+        beqz r13, miss          # ~89% taken bias
+        addi r10, r10, 3
+        j    wb
+miss:   slli r10, r10, 1
+        xori r10, r10, 0x55
+wb:     sd   r10, 0(r9)         # write the updated cell back
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "update",
+		Suite:       "stressmark",
+		Description: "update stressmark: random read-modify-write over 4 MiB with a biased data-dependent branch",
+		Character:   "moderate gain; branch hit ratio ~0.89 degrades the long-IFQ model",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("update", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("update", in)
+			iters := 50000
+			if in == Train {
+				iters = 15000
+			}
+			f.Param("nIter", uint64(iters))
+			bits := biasedBits(r, 0.15) // low bit biased: branch hit ratio ~0.85
+			for i := 0; i < 65536; i++ {
+				f.U64("seq", i, bits()^1) // flip: taken when bit clear
+			}
+			for i := 0; i < 512*1024; i++ {
+				f.U64("tbl", i, uint64(r.Int63()))
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// nbh: neighborhood stressmark — each descriptor names a pixel; the kernel
+// reads the pixel and two neighbors (same cache block and +1 row). High
+// branch hit ratio (~0.996) and a gather slice: gains more with IFQ 256.
+func nbhKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+seq:    .space 262144        # 32K descriptors
+img:    .space 4194304       # 512x1024 8-byte pixels
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, seq
+        la   r2, img
+        li   r3, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x3FFF8
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # pixel index
+        andi r8, r7, 0x7FBFF    # keep inside image minus a row
+        slli r8, r8, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)         # delinquent center load
+        ld   r11, 8(r9)         # east neighbor (same block usually)
+        ld   r12, 8192(r9)      # south neighbor (next row, misses)
+        add  r13, r10, r11
+        add  r13, r13, r12
+        srai r14, r13, 2
+        add  r15, r15, r14
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "nbh",
+		Suite:       "stressmark",
+		Description: "neighborhood stressmark: gather a pixel and two neighbors per descriptor over a 4 MiB image",
+		Character:   "multiple d-loads per iteration, branch hit ~0.996; gains with the longer IFQ",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("nbh", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("nbh", in)
+			iters := 40000
+			if in == Train {
+				iters = 12000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 32768; i++ {
+				f.U64("seq", i, uint64(r.Int63()))
+			}
+			for i := 0; i < 512*1024; i++ {
+				f.U64("img", i, uint64(r.Intn(1<<20)))
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// tr: transitive-closure-like kernel: a serial pointer chase (which
+// pre-execution cannot outrun) plus poorly predicted branches (~0.886)
+// whose flushes keep killing p-thread sessions — the SPEAR-loses case.
+func trKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+next:   .space 4194304       # 512K-entry successor table (random ring)
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, next
+        li   r3, 0
+        li   r9, 0             # current node index
+loop:   slli r5, r9, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # delinquent chase: next node + tag bits
+        srli r9, r7, 16         # successor index
+        andi r9, r9, 0x7FFFF
+        andi r8, r7, 1
+        beqz r8, skip           # ~88% taken, data dependent
+        addi r10, r10, 1
+        xor  r11, r11, r7
+skip:   addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "tr",
+		Suite:       "stressmark",
+		Description: "transitive-closure stressmark: serial random chase with poorly predicted branches",
+		Character:   "chase-bound with branch hit ~0.886: SPEAR slightly loses; longer IFQ does not help",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("tr", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("tr", in)
+			iters := 45000
+			if in == Train {
+				iters = 14000
+			}
+			f.Param("nIter", uint64(iters))
+			bits := biasedBits(r, 0.12)
+			// Sattolo's algorithm: a single-cycle permutation, so the
+			// walk keeps visiting fresh entries instead of collapsing
+			// into a short, cache-resident random-map cycle.
+			const n = 512 * 1024
+			perm := make([]uint64, n)
+			for i := range perm {
+				perm[i] = uint64(i)
+			}
+			for i := n - 1; i > 0; i-- {
+				j := r.Intn(i)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			for i := 0; i < n; i++ {
+				f.U64("next", i, perm[i]<<16|bits()&0xFFFF)
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// matrix: column walk with an 8 KiB stride — every access misses — with a
+// long, perfectly predicted loop body. The IFQ size directly bounds the
+// prefetch distance here: the paper's largest SPEAR-256/128 ratio (1.45).
+func matrixKernel() Kernel {
+	const src = `
+        .data
+nOuter: .quad 0
+nInner: .quad 0
+mat:    .space 8388608       # 1024x1024 doubles
+vec:    .space 8192          # 1024 doubles
+        .text
+main:   ld   r4, nOuter(r0)
+        ld   r5, nInner(r0)
+        la   r1, mat
+        la   r2, vec
+        li   r3, 0             # column
+outer:  li   r6, 0             # row
+        li   r13, 0
+        slli r14, r3, 5        # column-block byte offset (32 B apart so
+                               # consecutive columns never share a block)
+col:    slli r7, r6, 13        # row * 8224 bytes (padded stride:
+        slli r10, r6, 5        #  avoids single-set L1 aliasing)
+        add  r7, r7, r10
+        add  r8, r7, r14
+        add  r9, r1, r8
+        fld  f1, 0(r9)          # delinquent strided load
+        slli r10, r6, 3
+        andi r10, r10, 0x1FF8
+        add  r11, r2, r10
+        fld  f2, 0(r11)         # vector reuse (hits)
+        fmul f3, f1, f2
+        fadd f4, f4, f3
+        add  r13, r13, r8
+        addi r6, r6, 1
+        blt  r6, r5, col
+        addi r3, r3, 1
+        andi r3, r3, 255
+        addi r12, r12, 1
+        blt  r12, r4, outer
+        halt
+`
+	return Kernel{
+		Name:        "matrix",
+		Suite:       "stressmark",
+		Description: "matrix stressmark: column-major walk (8 KiB stride) times a resident vector",
+		Character:   "every access misses, branches ~0.994: prefetch distance is IFQ-bound (largest 256/128 ratio)",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("matrix", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("matrix", in)
+			outer, inner := 160, 256
+			if in == Train {
+				outer = 50
+			}
+			f.Param("nOuter", uint64(outer))
+			f.Param("nInner", uint64(inner))
+			for i := 0; i < 1024*1024; i += 64 {
+				f.F64("mat", i+r.Intn(64), r.Float64())
+			}
+			for i := 0; i < 1024; i++ {
+				f.F64("vec", i, r.Float64()+0.5)
+			}
+			return p, f.Err()
+		},
+	}
+}
+
+// field: dense sequential scan over a table that fits in the L2 — the miss
+// rate is too low for prefetching to matter (the paper's ~1.0x case).
+func fieldKernel() Kernel {
+	const src = `
+        .data
+nIter:  .quad 0
+fld:    .space 16384         # 2K entries; L1-resident after warm-up
+        .text
+main:   ld   r4, nIter(r0)
+        la   r1, fld
+        li   r3, 0
+        li   r9, 0
+loop:   slli r5, r3, 3
+        andi r5, r5, 0x3FF8
+        add  r6, r1, r5
+        ld   r7, 0(r6)          # sequential scan, mostly hits
+        andi r8, r7, 0xFF
+        add  r9, r9, r8
+        srli r10, r7, 8
+        xor  r11, r11, r10
+        slt  r12, r9, r11
+        add  r13, r13, r12
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`
+	return Kernel{
+		Name:        "field",
+		Suite:       "stressmark",
+		Description: "field stressmark: dense sequential scan-and-reduce over a cache-resident 64 KiB field",
+		Character:   "miss rate too low to benefit: SPEAR ~1.0x with slight trigger overhead",
+		build: func(in Input) (*prog.Program, error) {
+			p, f, err := build("field", src)
+			if err != nil {
+				return nil, err
+			}
+			r := rng("field", in)
+			iters := 70000
+			if in == Train {
+				iters = 20000
+			}
+			f.Param("nIter", uint64(iters))
+			for i := 0; i < 2048; i++ {
+				f.U64("fld", i, uint64(r.Int63()))
+			}
+			return p, f.Err()
+		},
+	}
+}

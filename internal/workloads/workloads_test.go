@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"testing"
+
+	"spear/internal/cfg"
+	"spear/internal/emu"
+	"spear/internal/spearcc"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("kernels = %d, want 15", len(all))
+	}
+	suites := map[string]int{}
+	for _, k := range all {
+		suites[k.Suite]++
+		if k.Description == "" || k.Character == "" {
+			t.Errorf("%s: missing documentation", k.Name)
+		}
+	}
+	if suites["stressmark"] != 6 || suites["dis"] != 3 || suites["spec"] != 6 {
+		t.Errorf("suite split = %v, want 6/3/6", suites)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("mcf missing")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("found nonexistent kernel")
+	}
+	if len(Names()) != 15 {
+		t.Errorf("Names() = %d entries", len(Names()))
+	}
+}
+
+// TestAllKernelsRunToCompletion builds and functionally runs every kernel
+// on both inputs — the basic liveness guarantee for the whole evaluation.
+func TestAllKernelsRunToCompletion(t *testing.T) {
+	for _, k := range All() {
+		for _, in := range []Input{Train, Ref} {
+			k, in := k, in
+			t.Run(k.Name+"/"+in.String(), func(t *testing.T) {
+				t.Parallel()
+				p, err := k.Build(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := emu.New(p)
+				if err := m.Run(20_000_000); err != nil {
+					t.Fatalf("did not halt: %v (count %d)", err, m.Count)
+				}
+				if in == Ref && (m.Count < 100_000 || m.Count > 3_000_000) {
+					t.Errorf("ref instruction count %d outside [100K, 3M]", m.Count)
+				}
+				if in == Train && m.Count >= 1_500_000 {
+					t.Errorf("train input too large: %d instructions", m.Count)
+				}
+			})
+		}
+	}
+}
+
+// TestTrainAndRefShareText: the SPEAR compiler annotates instruction
+// indices, so the two inputs must have identical text segments.
+func TestTrainAndRefShareText(t *testing.T) {
+	for _, k := range All() {
+		tr, err := k.Build(Train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := k.Build(Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Text) != len(rf.Text) {
+			t.Fatalf("%s: text length differs between inputs", k.Name)
+		}
+		for i := range tr.Text {
+			if tr.Text[i] != rf.Text[i] {
+				t.Fatalf("%s: instruction %d differs between inputs", k.Name, i)
+			}
+		}
+		same := true
+		a, b := tr.Data[0].Bytes, rf.Data[0].Bytes
+		if len(a) != len(b) {
+			t.Fatalf("%s: data image sizes differ", k.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: train and ref data images are identical", k.Name)
+		}
+	}
+}
+
+// TestEveryKernelHasALoop: SPEAR's region selection requires d-loads
+// inside loops; every kernel must expose at least one.
+func TestEveryKernelHasALoop(t *testing.T) {
+	for _, k := range All() {
+		p, err := k.Build(Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := cfg.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if len(g.Loops) == 0 {
+			t.Errorf("%s: no loops detected", k.Name)
+		}
+	}
+}
+
+// TestMemoryBoundKernelsCompile: the headline kernels must come out of the
+// SPEAR compiler with usable p-threads.
+func TestMemoryBoundKernelsCompile(t *testing.T) {
+	for _, name := range []string{"mcf", "pointer", "art", "equake"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, _ := ByName(name)
+			train, err := k.Build(Train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := spearcc.DefaultOptions()
+			opts.Profile.MaxInstr = 1_500_000
+			out, rep, err := spearcc.Compile(train, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.PThreads) == 0 {
+				t.Fatalf("no p-threads (d-loads: %v)", rep.DLoads)
+			}
+			for _, pt := range out.PThreads {
+				if pt.Size() >= len(train.Text) {
+					t.Errorf("p-thread covers the whole program (%d instr)", pt.Size())
+				}
+				if len(pt.LiveIns) == 0 {
+					t.Errorf("p-thread for d-load %d has no live-ins", pt.DLoad)
+				}
+			}
+		})
+	}
+}
