@@ -3,10 +3,19 @@
 //
 // Usage:
 //
-//	spearbench [-experiment all|table1|fig6|table3|fig7|fig8|fig9]
-//	           [-kernels mcf,art,...] [-parallel N] [-v]
+//	spearbench [-experiment all|table1|fig6|table3|fig7|fig8|fig9|faults]
+//	           [-kernels mcf,art,...] [-parallel N] [-seed N] [-v]
 //
 // Running everything takes a few minutes; use -kernels to restrict the set.
+// Sweeps run in partial-results mode: a failing (kernel, machine) pair
+// renders as a per-row error instead of aborting the experiment, and
+// kernels that fail to prepare are reported on stderr and skipped.
+//
+// The faults experiment injects every fault class (corrupt slice masks,
+// bogus trigger PCs, truncated live-in sets, flipped opcode bits in the
+// P-thread Table image) into every kernel and verifies the containment
+// invariant: the main thread's final state must match the functional
+// emulator's under any p-thread fault.
 package main
 
 import (
@@ -22,19 +31,20 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, motivation, hybrid, ablate, or all")
+	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, faults, motivation, hybrid, ablate, or all")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all fifteen)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	seed := flag.Int64("seed", 1, "fault-injection seed (faults experiment)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
 
-	if err := run(*experiment, *kernels, *parallel, *verbose); err != nil {
+	if err := run(*experiment, *kernels, *parallel, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "spearbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, kernels string, parallel int, verbose bool) error {
+func run(experiment, kernels string, parallel int, seed int64, verbose bool) error {
 	opts := harness.DefaultOptions()
 	opts.Parallel = parallel
 	if verbose {
@@ -52,6 +62,9 @@ func run(experiment, kernels string, parallel int, verbose bool) error {
 	suite, err := harness.NewSuite(opts)
 	if err != nil {
 		return err
+	}
+	for name, perr := range suite.Failed {
+		fmt.Fprintf(os.Stderr, "spearbench: warning: kernel %s failed to prepare and is skipped: %v\n", name, perr)
 	}
 	out := io.Writer(os.Stdout)
 
@@ -124,6 +137,10 @@ func run(experiment, kernels string, parallel int, verbose bool) error {
 			return err
 		}
 		fmt.Fprintln(out, harness.RenderFigure9(series))
+		ran = true
+	}
+	if experiment == "faults" {
+		fmt.Fprintln(out, harness.RenderFaultSuite(suite.FaultSuite(seed)))
 		ran = true
 	}
 	if !ran {

@@ -7,13 +7,19 @@
 //	spearsim -bin mcf.spear -machine SPEAR-256
 //	spearsim -workload mcf -machine baseline
 //	spearsim -workload art -machine SPEAR.sf-128 -mem-latency 200 -l2-latency 20
+//	spearsim -workload mcf -machine SPEAR-128 -inject corrupt-mask -seed 7
 //
 // Machines: baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
 // With -workload, the program is first compiled with the SPEAR compiler on
 // the training input (the baseline machine simply ignores the annotations).
+//
+// Exit codes: 0 success, 1 generic error, 2 validation failure or
+// pipeline/oracle divergence, 3 deadlock (MaxCycles exhausted; a pipeline
+// state dump is printed to stderr).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,12 @@ import (
 	"spear/internal/workloads"
 )
 
+const (
+	exitErr        = 1
+	exitValidation = 2
+	exitDeadlock   = 3
+)
+
 func main() {
 	bin := flag.String("bin", "", "SPEAR binary to simulate")
 	workload := flag.String("workload", "", "named workload to compile and simulate")
@@ -31,11 +43,22 @@ func main() {
 	memLat := flag.Int("mem-latency", 120, "memory access latency in cycles")
 	l2Lat := flag.Int("l2-latency", 12, "L2 access latency in cycles")
 	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
+	maxCycles := flag.Uint64("max-cycles", 0, "override the deadlock cycle limit (0 = machine default)")
+	seed := flag.Int64("seed", 1, "fault-injection seed (with -inject)")
+	inject := flag.String("inject", "", "inject a p-thread fault class before simulating: corrupt-mask, bogus-trigger, truncate-live-ins, flip-opcode-bits")
 	flag.Parse()
 
-	if err := run(*bin, *workload, *machine, *memLat, *l2Lat, *trace); err != nil {
+	if err := run(*bin, *workload, *machine, *memLat, *l2Lat, *trace, *maxCycles, *seed, *inject); err != nil {
 		fmt.Fprintln(os.Stderr, "spearsim:", err)
-		os.Exit(1)
+		var dl *cpu.DeadlockError
+		switch {
+		case errors.As(err, &dl):
+			fmt.Fprint(os.Stderr, "\npipeline state at abort:\n"+dl.Dump)
+			os.Exit(exitDeadlock)
+		case errors.Is(err, cpu.ErrValidation) || errors.Is(err, cpu.ErrDivergence):
+			os.Exit(exitValidation)
+		}
+		os.Exit(exitErr)
 	}
 }
 
@@ -55,7 +78,7 @@ func machineConfig(name string) (cpu.Config, error) {
 	return cpu.Config{}, fmt.Errorf("unknown machine %q", name)
 }
 
-func run(bin, workload, machine string, memLat, l2Lat int, trace uint64) error {
+func run(bin, workload, machine string, memLat, l2Lat int, trace, maxCycles uint64, seed int64, inject string) error {
 	if (bin == "") == (workload == "") {
 		return fmt.Errorf("exactly one of -bin or -workload is required")
 	}
@@ -67,6 +90,9 @@ func run(bin, workload, machine string, memLat, l2Lat int, trace uint64) error {
 	if trace > 0 {
 		cfg.Trace = os.Stdout
 		cfg.TraceCycles = trace
+	}
+	if maxCycles > 0 {
+		cfg.MaxCycles = maxCycles
 	}
 
 	var p *prog.Program
@@ -93,11 +119,42 @@ func run(bin, workload, machine string, memLat, l2Lat int, trace uint64) error {
 		p = prep.Ref
 	}
 
+	if inject != "" {
+		return runInjected(p, cfg, harness.FaultClass(inject), seed)
+	}
+
 	res, err := cpu.Run(p, cfg)
 	if err != nil {
 		return err
 	}
 	printResult(p, res)
+	return nil
+}
+
+// runInjected perturbs the binary's p-thread annotations, simulates it, and
+// checks the containment invariant against the functional emulator.
+func runInjected(p *prog.Program, cfg cpu.Config, class harness.FaultClass, seed int64) error {
+	if !cfg.SPEAR {
+		return fmt.Errorf("-inject requires a SPEAR machine (got %s)", cfg.Name)
+	}
+	injection, err := harness.NewInjector(seed).Inject(p, class)
+	if err != nil {
+		return err
+	}
+	baseHash, baseCount, err := harness.BaselineState(p, 200_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected           %s (%s), seed %d\n", injection.Class, injection.Desc, seed)
+	v := harness.VerifyContainment(injection, cfg, baseHash, baseCount)
+	if v.Err != nil {
+		return v.Err
+	}
+	printResult(injection.Prog, v.Res)
+	fmt.Printf("containment        state match %v, commit-count match %v\n", v.StateMatch, v.CountMatch)
+	if !v.Contained() {
+		return fmt.Errorf("containment invariant violated under %s", injection.Class)
+	}
 	return nil
 }
 
@@ -118,4 +175,10 @@ func printResult(p *prog.Program, r *cpu.Result) {
 		fmt.Printf("p-thread activity  %d extracted, %d committed, %d prefetch loads, %d live-in copies\n",
 			r.Extracted, r.PCommitted, r.PrefetchLoads, r.LiveInCopies)
 	}
+	if f := r.PFault; f.Total() > 0 || f.Suppressed > 0 {
+		fmt.Printf("p-thread faults    %d contained (oob %d, misaligned %d, div-zero %d, budget %d)\n",
+			f.Total(), f.OOB, f.Misaligned, f.DivZero, f.Budget)
+		fmt.Printf("fault backoff      %d disables, %d suppressed triggers\n", f.Disabled, f.Suppressed)
+	}
+	fmt.Printf("final state hash   %#016x\n", r.FinalStateHash)
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"spear/internal/bpred"
+	"spear/internal/isa"
 	"spear/internal/mem"
 )
 
@@ -88,8 +89,35 @@ type Config struct {
 	// issue (Section 3.3). Disabling it is an ablation knob.
 	PThreadPriority bool
 
+	// PSessionBudget caps how many instructions one pre-execution session
+	// may extract before it is squashed as a runaway (PFaultBudget).
+	// Chaining onto the next d-load resets the count. 0 disables the cap.
+	PSessionBudget int
+	// PSessionCycleBudget caps how many cycles one session may stay
+	// active before it is squashed as a runaway. 0 disables the cap.
+	PSessionCycleBudget uint64
+	// PFaultThreshold is how many consecutive faulted sessions disable a
+	// p-thread (exponential backoff). 0 disables the backoff machinery:
+	// faults are still contained, but the p-thread always re-arms.
+	PFaultThreshold int
+	// PFaultBackoff is the initial disable window in cycles; each disable
+	// doubles it up to PFaultBackoffMax, and each clean session halves it.
+	PFaultBackoff    uint64
+	PFaultBackoffMax uint64
+
+	// PTextOverride substitutes the instruction the PE sees for the given
+	// static pc, modeling a corrupted P-thread Table image (fault
+	// injection): the main thread always decodes the program's real text,
+	// while the p-thread extracts the override. Nil in normal operation.
+	PTextOverride map[int]isa.Instruction
+
 	// MaxCycles aborts a run that stopped making progress.
 	MaxCycles uint64
+
+	// Interrupt, when non-nil, is polled periodically (every few thousand
+	// cycles); when it returns true the run aborts with ErrInterrupted.
+	// The harness uses it as a wall-clock watchdog.
+	Interrupt func() bool
 
 	// Trace, when non-nil, receives a per-event pipeline trace for the
 	// first TraceCycles cycles (see internal/cpu/trace.go).
@@ -125,6 +153,10 @@ func BaselineConfig() Config {
 		PThreadPriority:    true,
 		SpawnOverhead:      24,
 		StrideDegree:       2,
+		PSessionBudget:     512,
+		PFaultThreshold:    4,
+		PFaultBackoff:      2048,
+		PFaultBackoffMax:   1 << 20,
 		MaxCycles:          2_000_000_000,
 	}
 }
@@ -185,6 +217,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu %s: software spawn overhead must be positive", c.Name)
 	case c.MaxCycles == 0:
 		return fmt.Errorf("cpu %s: MaxCycles must be positive", c.Name)
+	case c.PSessionBudget < 0 || c.PFaultThreshold < 0:
+		return fmt.Errorf("cpu %s: p-thread fault knobs must be non-negative", c.Name)
+	case c.PFaultThreshold > 0 && c.PFaultBackoff == 0:
+		return fmt.Errorf("cpu %s: PFaultBackoff must be positive when PFaultThreshold is set", c.Name)
 	}
 	return nil
 }
@@ -222,6 +258,17 @@ type Result struct {
 	// StridePrefetches counts prefetches issued by the optional stride
 	// prefetcher (charged to the helper slot of the cache statistics).
 	StridePrefetches uint64
+
+	// PFault counts contained p-thread faults and backoff events. Always
+	// zero on non-SPEAR machines.
+	PFault FaultStats
+
+	// FinalStateHash fingerprints the main thread's final architectural
+	// state (registers, PC, retired count, and memory). Because p-thread
+	// activity is fully contained, this hash is identical across the
+	// baseline machine, every SPEAR configuration, and the functional
+	// emulator for the same program.
+	FinalStateHash uint64
 }
 
 func (r *Result) finalize() {

@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+// Fuzzing the speculative/architectural boundary: arbitrary (structurally
+// valid) p-thread annotations plus arbitrary PT-image corruption must never
+// panic the simulator and must never perturb the main thread's final
+// architectural state. This extends the internal/asm fuzzing style to the
+// cycle core.
+
+// smallGatherKernel is a scaled-down gather/scatter loop (2048 iterations,
+// 512 KiB table) that keeps each fuzz execution fast while still exercising
+// loads, stores, and the trigger machinery.
+func smallGatherKernel(t *testing.T) *prog.Program {
+	t.Helper()
+	p := assemble(t, `
+        .data
+idx:    .space 16384          # 2048 * 8
+tbl:    .space 524288         # 64K * 8
+        .text
+main:   la   r1, idx
+        la   r2, tbl
+        li   r3, 0
+        li   r4, 2048
+loop:   slli r5, r3, 3
+        add  r6, r1, r5
+        ld   r7, 0(r6)
+        slli r8, r7, 3
+        add  r9, r2, r8
+        ld   r10, 0(r9)
+        add  r11, r11, r10
+        sd   r11, 0(r9)
+        addi r3, r3, 1
+        blt  r3, r4, loop
+        halt
+`)
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 2048; i++ {
+		binary.LittleEndian.PutUint64(p.Data[0].Bytes[8*i:], uint64(r.Intn(64*1024)))
+	}
+	return p
+}
+
+// randomAnnotation derives a structurally valid but semantically arbitrary
+// p-thread from the rng: a random trigger load, a random slice mask, a
+// random live-in set, and (half the time) a random decodable bit flip in
+// the PT image of one member.
+func randomAnnotation(p *prog.Program, r *rand.Rand) (prog.PThread, map[int]isa.Instruction) {
+	var loads []int
+	for pc, in := range p.Text {
+		if in.Op.IsLoad() {
+			loads = append(loads, pc)
+		}
+	}
+	dload := loads[r.Intn(len(loads))]
+	members := map[int]bool{dload: true}
+	for i, n := 0, r.Intn(10); i < n; i++ {
+		members[r.Intn(len(p.Text))] = true
+	}
+	ms := make([]int, 0, len(members))
+	for m := range members {
+		ms = append(ms, m)
+	}
+	sort.Ints(ms)
+	var liveIns []isa.Reg
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		liveIns = append(liveIns, isa.Reg(r.Intn(isa.NumRegs)))
+	}
+	var override map[int]isa.Instruction
+	if r.Intn(2) == 1 {
+		pc := ms[r.Intn(len(ms))]
+		w := isa.Encode(p.Text[pc]) ^ 1<<uint(r.Intn(64))
+		if in, err := isa.Decode(w); err == nil {
+			override = map[int]isa.Instruction{pc: in}
+		}
+	}
+	pt := prog.PThread{
+		DLoad:       dload,
+		Members:     ms,
+		LiveIns:     liveIns,
+		RegionStart: ms[0],
+		RegionEnd:   ms[len(ms)-1],
+	}
+	return pt, override
+}
+
+// checkRandomAnnotation runs one seed's annotation and asserts the
+// containment invariant.
+func checkRandomAnnotation(t *testing.T, seed int64) {
+	t.Helper()
+	p := smallGatherKernel(t)
+	r := rand.New(rand.NewSource(seed))
+	pt, override := randomAnnotation(p, r)
+	p.PThreads = append(p.PThreads, pt)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("seed %d: generator produced an invalid annotation: %v", seed, err)
+	}
+	wantHash, wantCount := emuFinal(t, p)
+	cfg := spearTestConfig()
+	cfg.PTextOverride = override
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("seed %d (dload %d, %d members, %d live-ins, override %v): %v",
+			seed, pt.DLoad, len(pt.Members), len(pt.LiveIns), override, err)
+	}
+	if res.MainCommitted != wantCount || res.FinalStateHash != wantHash {
+		t.Fatalf("seed %d: main thread perturbed: committed %d (want %d), hash %#x (want %#x); faults %+v",
+			seed, res.MainCommitted, wantCount, res.FinalStateHash, wantHash, res.PFault)
+	}
+}
+
+func FuzzPThreadAnnotations(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, -3, 1 << 33} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkRandomAnnotation(t, seed)
+	})
+}
+
+// TestRandomAnnotationsPreserveState is the deterministic slice of the fuzz
+// property that plain `go test` always runs.
+func TestRandomAnnotationsPreserveState(t *testing.T) {
+	n := int64(30)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := int64(0); seed < n; seed++ {
+		checkRandomAnnotation(t, seed)
+	}
+}

@@ -17,8 +17,21 @@ const (
 	tidP    = 1
 )
 
-// ErrDeadlock is returned when the pipeline stops making progress.
+// ErrDeadlock is returned when the pipeline stops making progress. The
+// error returned by Run wraps it in a DeadlockError carrying a pipeline
+// state dump; match with errors.Is(err, ErrDeadlock) or errors.As.
 var ErrDeadlock = errors.New("cpu: no progress (deadlock or MaxCycles exceeded)")
+
+// ErrValidation wraps configuration or program validation failures.
+var ErrValidation = errors.New("cpu: validation failed")
+
+// ErrDivergence is returned when the pipeline retires a different
+// instruction count than the functional oracle — a simulator bug, never a
+// workload property.
+var ErrDivergence = errors.New("cpu: pipeline diverged from the oracle")
+
+// ErrInterrupted is returned when Config.Interrupt requested an abort.
+var ErrInterrupted = errors.New("cpu: run interrupted")
 
 // entry states.
 const (
@@ -152,6 +165,9 @@ type session struct {
 	copyIdx   int
 	peDone    bool // the d-load has been extracted (or lost)
 
+	extracted  int    // instructions extracted since the last d-load (budget)
+	startCycle uint64 // cycle the session armed (cycle budget)
+
 	// Live-in sourcing: the values are snapshotted at trigger time (the
 	// state at the then-current IFQ head), but the copy may only proceed
 	// once every in-flight producer of a live-in register has actually
@@ -232,6 +248,9 @@ type sim struct {
 	allLiveIns  []isa.Reg           // union of every p-thread's live-ins
 	pregs       [isa.NumRegs]uint64 // p-thread register file (bit patterns)
 	pscratch    map[uint32]byte     // p-thread store buffer
+
+	// Fault containment: per-d-load confidence/backoff state.
+	health map[int]*ptHealth
 }
 
 // Run simulates the program to completion under cfg and returns statistics.
@@ -239,11 +258,23 @@ type sim struct {
 // emulator; Run reports an error if the pipeline fails to retire exactly
 // the instructions the emulator retires.
 func Run(p *prog.Program, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := newSim(p, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.Validate(); err != nil {
+	if err := s.runLoop(); err != nil {
 		return nil, err
+	}
+	return s.finish()
+}
+
+// newSim validates the configuration and program and builds the machine.
+func newSim(p *prog.Program, cfg Config) (*sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrValidation, err)
 	}
 	s := &sim{
 		cfg:    cfg,
@@ -275,6 +306,7 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	s.ptFor = map[int]*prog.PThread{}
 	s.leafPLoad = make([]bool, len(p.Text))
 	if cfg.SPEAR {
+		s.health = map[int]*ptHealth{}
 		liveSet := map[isa.Reg]bool{}
 		for i := range p.PThreads {
 			pt := &p.PThreads[i]
@@ -317,17 +349,36 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 		s.stride = newStridePrefetcher(256, cfg.StrideDegree)
 	}
 	s.oracle.Hook = func(ev *emu.Event) { s.lastEv = *ev }
+	return s, nil
+}
 
+// runLoop steps the machine to completion, aborting on MaxCycles (with a
+// diagnostic dump) or an interrupt request.
+func (s *sim) runLoop() error {
 	for !s.done() {
-		if s.cycle >= cfg.MaxCycles {
-			return nil, fmt.Errorf("%w after %d cycles (%d/%d instructions committed)",
-				ErrDeadlock, s.cycle, s.res.MainCommitted, s.oracle.Count)
+		if s.cycle >= s.cfg.MaxCycles {
+			return &DeadlockError{
+				Cycle:     s.cycle,
+				Committed: s.res.MainCommitted,
+				Retired:   s.oracle.Count,
+				Dump:      s.dumpState(),
+			}
+		}
+		if s.cfg.Interrupt != nil && s.cycle&0x1FFF == 0 && s.cfg.Interrupt() {
+			return fmt.Errorf("%w at cycle %d (%d/%d instructions committed)",
+				ErrInterrupted, s.cycle, s.res.MainCommitted, s.oracle.Count)
 		}
 		s.stepCycle()
 	}
+	return nil
+}
+
+// finish cross-checks the pipeline against the oracle and assembles the
+// result.
+func (s *sim) finish() (*Result, error) {
 	if s.res.MainCommitted != s.oracle.Count {
-		return nil, fmt.Errorf("cpu: committed %d instructions but the oracle retired %d",
-			s.res.MainCommitted, s.oracle.Count)
+		return nil, fmt.Errorf("%w: committed %d instructions but the oracle retired %d",
+			ErrDivergence, s.res.MainCommitted, s.oracle.Count)
 	}
 	s.res.Cycles = s.cycle
 	if s.cycle > 0 {
@@ -335,6 +386,7 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	}
 	s.res.L1D = s.hier.L1D.Stats
 	s.res.L2 = s.hier.L2.Stats
+	s.res.FinalStateHash = s.oracle.StateHash()
 	s.res.finalize()
 	return &s.res, nil
 }

@@ -35,6 +35,12 @@ func (s *sim) preDecode(fe *ifqEntry) {
 	if s.ifqCount() < s.triggerOccupancy() {
 		return
 	}
+	if s.ptDisabled(fe.pc) {
+		// Backoff: this p-thread faulted repeatedly; stay on the baseline
+		// path until its disable window expires.
+		s.res.PFault.Suppressed++
+		return
+	}
 	pt := s.ptFor[fe.pc]
 	s.res.Triggers++
 	if s.cfg.SoftwareTrigger {
@@ -56,7 +62,7 @@ func (s *sim) preDecode(fe *ifqEntry) {
 	// every session pays the full spawn.
 	if !s.cfg.SoftwareTrigger && s.pStateValid && s.pScanPos >= s.ifqHead {
 		s.mode = modeActive
-		s.sess = session{pt: pt, dloadSeq: fe.seq, scanPos: s.pScanPos}
+		s.sess = session{pt: pt, dloadSeq: fe.seq, scanPos: s.pScanPos, startCycle: s.cycle}
 		s.traceTrigger("armed (continuation)")
 		return
 	}
@@ -66,10 +72,11 @@ func (s *sim) preDecode(fe *ifqEntry) {
 	// those values to actually exist.
 	s.mode = modeDrain
 	s.sess = session{
-		pt:        pt,
-		dloadSeq:  fe.seq,
-		drainLeft: s.cfg.TriggerDrainCycles,
-		snapshot:  s.shadow,
+		pt:         pt,
+		dloadSeq:   fe.seq,
+		drainLeft:  s.cfg.TriggerDrainCycles,
+		snapshot:   s.shadow,
+		startCycle: s.cycle,
 	}
 	for _, r := range s.allLiveIns {
 		if !s.createOk[tidMain][r] {
@@ -197,6 +204,12 @@ func (s *sim) extractStage() int {
 	if s.mode != modeActive {
 		return 0
 	}
+	if b := s.cfg.PSessionCycleBudget; b > 0 && s.cycle-s.sess.startCycle > b {
+		// Runaway session: active far longer than any useful prefetch
+		// lead time. Squash and count it.
+		s.containFault(PFaultBudget)
+		return 0
+	}
 	if s.sess.scanPos < s.ifqHead {
 		// Main-thread decode overran the p-thread head: instructions
 		// (including induction updates) were lost, so the p-thread
@@ -222,14 +235,30 @@ func (s *sim) extractStage() int {
 			s.sess.scanPos++
 			continue
 		}
-		if !s.dispatchPThread(fe) {
-			break // p-thread RUU or LSQ full; resume here next cycle
+		if b := s.cfg.PSessionBudget; b > 0 && s.sess.extracted >= b {
+			// The slice between two d-load instances should be a handful
+			// of instructions; a session this long is a runaway (e.g. a
+			// corrupted mask marking whole loop bodies). Squash it.
+			s.containFault(PFaultBudget)
+			break
+		}
+		ok, faulted := s.dispatchPThread(fe)
+		if !ok {
+			// Either structural stall (resume here next cycle) or a
+			// contained fault (mode left modeActive; loop exits).
+			if faulted {
+				fe.extracted = true // never retry a faulting instruction
+			}
+			break
 		}
 		fe.extracted = true
 		extracted++
 		s.res.Extracted++
+		s.sess.extracted++
 		if s.isDLoad[fe.pc] {
 			s.res.SessionsDone++
+			s.sess.extracted = 0 // budget is per chained session
+			s.recordCleanSession(fe.pc)
 		}
 		s.sess.scanPos++
 	}
@@ -247,18 +276,31 @@ func (s *sim) finishExtraction() {
 }
 
 // dispatchPThread evaluates one extracted instruction on the p-thread
-// state and enters it into the p-thread context for timing. It reports
-// false when structural resources are exhausted.
-func (s *sim) dispatchPThread(fe *ifqEntry) bool {
+// state and enters it into the p-thread context for timing. ok is false
+// when the instruction did not dispatch: either structural resources are
+// exhausted (retry next cycle) or the instruction faulted and the session
+// was squashed (faulted is true; the faulting op never reaches the
+// p-thread context or the cache hierarchy).
+func (s *sim) dispatchPThread(fe *ifqEntry) (ok, faulted bool) {
+	in := fe.in
+	if ov, exists := s.cfg.PTextOverride[fe.pc]; exists {
+		// Fault injection: the PE reads a corrupted P-thread Table image;
+		// the main thread keeps decoding the real text.
+		in = ov
+	}
 	q := &s.ruu[tidP]
 	if q.full() {
-		return false
+		return false, false
 	}
-	needLSQ := fe.in.Op.IsMem()
+	needLSQ := in.Op.IsMem()
 	if needLSQ && s.lsq[tidP].full() {
-		return false
+		return false, false
 	}
-	outcome := s.evalP(fe.in, fe.pc)
+	outcome, fault := s.evalP(in, fe.pc)
+	if fault != PFaultNone {
+		s.containFault(fault)
+		return false, true
+	}
 	pos := q.tail
 	q.tail++
 	e := q.at(pos)
@@ -268,10 +310,10 @@ func (s *sim) dispatchPThread(fe *ifqEntry) bool {
 		valid:     true,
 		seq:       seq,
 		pc:        fe.pc,
-		in:        fe.in,
+		in:        in,
 		state:     stDispatched,
-		isLoad:    fe.in.Op.IsLoad(),
-		isStore:   fe.in.Op.IsStore(),
+		isLoad:    in.Op.IsLoad(),
+		isStore:   in.Op.IsStore(),
 		addr:      outcome.addr,
 		hasDest:   outcome.hasDest,
 		destReg:   outcome.destReg,
@@ -288,7 +330,7 @@ func (s *sim) dispatchPThread(fe *ifqEntry) bool {
 	}
 	s.wireSources(tidP, pos, e)
 	s.traceDispatch(tidP, e)
-	return true
+	return true, false
 }
 
 // pOutcome is the functional result of a p-thread instruction.
@@ -310,14 +352,16 @@ func (s *sim) pReadInt(r isa.Reg) int64 {
 func (s *sim) pReadF(r isa.Reg) float64 { return math.Float64frombits(s.pregs[r]) }
 
 // pLoad reads byte-wise, preferring the p-thread's private scratch buffer
-// (its stores never reach architectural memory).
+// (its stores never reach architectural memory). It peeks the shared image
+// without materializing pages: a speculative read of a never-written
+// address must leave no trace in the architectural memory map.
 func (s *sim) pLoad(addr uint32, size int) uint64 {
 	var v uint64
 	for i := 0; i < size; i++ {
 		a := addr + uint32(i)
 		b, ok := s.pscratch[a]
 		if !ok {
-			b = s.oracle.Mem.ReadU8(a)
+			b = s.oracle.Mem.PeekU8(a)
 		}
 		v |= uint64(b) << (8 * i)
 	}
@@ -334,8 +378,26 @@ func (s *sim) pStore(addr uint32, size int, v uint64) {
 // order, against the p-thread register file, the shared memory image, and
 // the private store buffer. Control-flow instructions are inert: the
 // p-thread's control flow is dictated by the main thread's fetch stream.
-func (s *sim) evalP(in isa.Instruction, pc int) pOutcome {
+//
+// Faults are detected before any state changes: a memory access outside
+// the plausible data window or misaligned, and an integer division by
+// zero, return a non-None PFaultKind with the register file, scratch
+// buffer, and (crucially) the shared memory image untouched.
+func (s *sim) evalP(in isa.Instruction, pc int) (pOutcome, PFaultKind) {
 	var out pOutcome
+	if size := memAccessSize(in.Op); size > 0 {
+		addr := uint32(s.pReadInt(in.Rs) + int64(in.Imm))
+		if k := classifyPAddr(addr, size); k != PFaultNone {
+			out.addr = addr
+			return out, k
+		}
+	}
+	switch in.Op {
+	case isa.DIV, isa.REM:
+		if s.pReadInt(in.Rt) == 0 {
+			return out, PFaultDivZero
+		}
+	}
 	setInt := func(rd isa.Reg, v int64) {
 		if rd == isa.RegZero {
 			return
@@ -357,17 +419,9 @@ func (s *sim) evalP(in isa.Instruction, pc int) pOutcome {
 	case isa.MUL:
 		setInt(in.Rd, s.pReadInt(rs)*s.pReadInt(rt))
 	case isa.DIV:
-		if d := s.pReadInt(rt); d != 0 {
-			setInt(in.Rd, s.pReadInt(rs)/d)
-		} else {
-			setInt(in.Rd, 0)
-		}
+		setInt(in.Rd, s.pReadInt(rs)/s.pReadInt(rt)) // zero divisor faulted above
 	case isa.REM:
-		if d := s.pReadInt(rt); d != 0 {
-			setInt(in.Rd, s.pReadInt(rs)%d)
-		} else {
-			setInt(in.Rd, 0)
-		}
+		setInt(in.Rd, s.pReadInt(rs)%s.pReadInt(rt))
 	case isa.AND:
 		setInt(in.Rd, s.pReadInt(rs)&s.pReadInt(rt))
 	case isa.OR:
@@ -473,7 +527,7 @@ func (s *sim) evalP(in isa.Instruction, pc int) pOutcome {
 	default:
 		// Branches, J, JR, NOP, HALT: no p-thread effect.
 	}
-	return out
+	return out, PFaultNone
 }
 
 func bool2i(b bool) int64 {

@@ -8,8 +8,10 @@
 package emu
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"spear/internal/isa"
@@ -71,6 +73,35 @@ func NewWithMemory(p *prog.Program, memory *mem.Memory) *Machine {
 	m := &Machine{Prog: p, Mem: memory, PC: p.Entry}
 	m.R[isa.RegSP] = int64(StackTop)
 	return m
+}
+
+// StateHash fingerprints the machine's architectural state: retired
+// count, PC, halt flag, every register, and the memory image (FNV-1a,
+// materialization-independent). Two machines that executed the same
+// program to the same point hash identically; the cycle simulator uses it
+// to prove that speculative p-thread activity left no architectural trace.
+func (m *Machine) StateHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(m.Count)
+	put(uint64(int64(m.PC)))
+	if m.Halted {
+		put(1)
+	} else {
+		put(0)
+	}
+	for _, r := range m.R {
+		put(uint64(r))
+	}
+	for _, f := range m.F {
+		put(math.Float64bits(f))
+	}
+	put(m.Mem.Hash())
+	return h.Sum64()
 }
 
 // Run executes until HALT or until maxInstr instructions have retired.

@@ -45,6 +45,8 @@ func RenderTable1(rows []Table1Row) string {
 }
 
 // Fig6Row is one benchmark's normalized performance (baseline = 1.0).
+// A non-nil Err marks a kernel whose runs failed; the other rows of the
+// sweep are still valid (partial-results mode).
 type Fig6Row struct {
 	Name     string
 	Base     *cpu.Result
@@ -52,35 +54,46 @@ type Fig6Row struct {
 	Spear256 *cpu.Result
 	Norm128  float64
 	Norm256  float64
+	Err      error
 }
 
-// Figure6 runs baseline, SPEAR-128, and SPEAR-256 on every kernel.
+// Figure6 runs baseline, SPEAR-128, and SPEAR-256 on every kernel. A
+// failing kernel produces a row with Err set instead of aborting the
+// sweep.
 func (s *Suite) Figure6() ([]Fig6Row, error) {
 	cfgs := []cpu.Config{cpu.BaselineConfig(), cpu.SPEARConfig(128, false), cpu.SPEARConfig(256, false)}
 	rows := make([]Fig6Row, 0, len(s.Prepared))
 	for _, p := range s.Prepared {
 		res, err := s.RunConfigs(p, cfgs)
-		if err != nil {
-			return nil, err
-		}
 		row := Fig6Row{
 			Name:     p.Kernel.Name,
 			Base:     res["baseline"],
 			Spear128: res["SPEAR-128"],
 			Spear256: res["SPEAR-256"],
+			Err:      err,
 		}
-		row.Norm128 = row.Spear128.IPC / row.Base.IPC
-		row.Norm256 = row.Spear256.IPC / row.Base.IPC
+		if row.Err == nil && (row.Base == nil || row.Spear128 == nil || row.Spear256 == nil) {
+			row.Err = fmt.Errorf("harness: %s: missing configuration results", p.Kernel.Name)
+		}
+		if row.Err == nil && row.Base.IPC > 0 {
+			row.Norm128 = row.Spear128.IPC / row.Base.IPC
+			row.Norm256 = row.Spear256.IPC / row.Base.IPC
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// RenderFigure6 formats the normalized-IPC series of Figure 6.
+// RenderFigure6 formats the normalized-IPC series of Figure 6. Failed
+// kernels render as error notes and are excluded from the averages.
 func RenderFigure6(rows []Fig6Row) string {
 	t := stats.NewTable("benchmark", "base IPC", "SPEAR-128", "SPEAR-256", "norm-128", "norm-256")
 	var n128, n256 []float64
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddSpanRow(r.Name, "ERROR: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(r.Name, r.Base.IPC, r.Spear128.IPC, r.Spear256.IPC, r.Norm128, r.Norm256)
 		n128 = append(n128, r.Norm128)
 		n256 = append(n256, r.Norm256)
@@ -97,9 +110,11 @@ type Table3Row struct {
 	Ratio256128 float64 // SPEAR-256 IPC / SPEAR-128 IPC
 	BranchRatio float64 // baseline conditional-branch hit ratio
 	IPB         float64
+	Err         error
 }
 
-// Table3 derives the paper's Table 3 from the Figure 6 runs.
+// Table3 derives the paper's Table 3 from the Figure 6 runs; failing
+// kernels carry their error through.
 func (s *Suite) Table3() ([]Table3Row, error) {
 	fig6, err := s.Figure6()
 	if err != nil {
@@ -107,12 +122,19 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 	}
 	rows := make([]Table3Row, 0, len(fig6))
 	for _, r := range fig6 {
-		rows = append(rows, Table3Row{
+		if r.Err != nil {
+			rows = append(rows, Table3Row{Name: r.Name, Err: r.Err})
+			continue
+		}
+		row := Table3Row{
 			Name:        r.Name,
-			Ratio256128: r.Spear256.IPC / r.Spear128.IPC,
 			BranchRatio: r.Base.BranchRatio,
 			IPB:         r.Base.IPB,
-		})
+		}
+		if r.Spear128.IPC > 0 {
+			row.Ratio256128 = r.Spear256.IPC / r.Spear128.IPC
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -121,6 +143,10 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 func RenderTable3(rows []Table3Row) string {
 	t := stats.NewTable("benchmark", "SPEAR-256/128", "branch hit ratio", "IPB")
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddSpanRow(r.Name, "ERROR: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(r.Name, fmt.Sprintf("%.2f", r.Ratio256128), fmt.Sprintf("%.4f", r.BranchRatio), fmt.Sprintf("%.2f", r.IPB))
 	}
 	return "Table 3: performance enhancement with a longer IFQ vs branch behaviour\n" + t.String()
@@ -133,25 +159,34 @@ type Fig7Row struct {
 	Norm256   float64
 	NormSf128 float64
 	NormSf256 float64
+	Err       error
 }
 
-// Figure7 runs all five machine models on every kernel.
+// Figure7 runs all five machine models on every kernel; a failing kernel
+// yields a row with Err set.
 func (s *Suite) Figure7() ([]Fig7Row, error) {
 	cfgs := StandardConfigs()
 	rows := make([]Fig7Row, 0, len(s.Prepared))
 	for _, p := range s.Prepared {
 		res, err := s.RunConfigs(p, cfgs)
-		if err != nil {
-			return nil, err
+		row := Fig7Row{Name: p.Kernel.Name, Err: err}
+		if row.Err == nil {
+			for _, cfg := range cfgs {
+				if res[cfg.Name] == nil {
+					row.Err = fmt.Errorf("harness: %s: missing %s result", p.Kernel.Name, cfg.Name)
+					break
+				}
+			}
 		}
-		base := res["baseline"].IPC
-		rows = append(rows, Fig7Row{
-			Name:      p.Kernel.Name,
-			Norm128:   res["SPEAR-128"].IPC / base,
-			Norm256:   res["SPEAR-256"].IPC / base,
-			NormSf128: res["SPEAR.sf-128"].IPC / base,
-			NormSf256: res["SPEAR.sf-256"].IPC / base,
-		})
+		if row.Err == nil {
+			if base := res["baseline"].IPC; base > 0 {
+				row.Norm128 = res["SPEAR-128"].IPC / base
+				row.Norm256 = res["SPEAR-256"].IPC / base
+				row.NormSf128 = res["SPEAR.sf-128"].IPC / base
+				row.NormSf256 = res["SPEAR.sf-256"].IPC / base
+			}
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -161,6 +196,10 @@ func RenderFigure7(rows []Fig7Row) string {
 	t := stats.NewTable("benchmark", "SPEAR-128", "SPEAR-256", "SPEAR.sf-128", "SPEAR.sf-256")
 	var a, b, c, d []float64
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddSpanRow(r.Name, "ERROR: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(r.Name, r.Norm128, r.Norm256, r.NormSf128, r.NormSf256)
 		a = append(a, r.Norm128)
 		b = append(b, r.Norm256)
@@ -181,9 +220,11 @@ type Fig8Row struct {
 	Misses256    uint64
 	Reduction128 float64 // percent
 	Reduction256 float64
+	Err          error
 }
 
-// Figure8 measures main-thread demand-miss reduction.
+// Figure8 measures main-thread demand-miss reduction; failing kernels
+// carry their error through from the Figure 6 runs.
 func (s *Suite) Figure8() ([]Fig8Row, error) {
 	fig6, err := s.Figure6()
 	if err != nil {
@@ -191,6 +232,10 @@ func (s *Suite) Figure8() ([]Fig8Row, error) {
 	}
 	rows := make([]Fig8Row, 0, len(fig6))
 	for _, r := range fig6 {
+		if r.Err != nil {
+			rows = append(rows, Fig8Row{Name: r.Name, Err: r.Err})
+			continue
+		}
 		rows = append(rows, Fig8Row{
 			Name:         r.Name,
 			BaseMisses:   r.Base.MainL1Misses(),
@@ -208,6 +253,10 @@ func RenderFigure8(rows []Fig8Row) string {
 	t := stats.NewTable("benchmark", "base misses", "SPEAR-128", "SPEAR-256", "red-128 %", "red-256 %")
 	var a, b []float64
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddSpanRow(r.Name, "ERROR: "+r.Err.Error())
+			continue
+		}
 		t.AddRow(r.Name, r.BaseMisses, r.Misses128, r.Misses256,
 			fmt.Sprintf("%.1f", r.Reduction128), fmt.Sprintf("%.1f", r.Reduction256))
 		a = append(a, r.Reduction128)
@@ -231,6 +280,7 @@ type Fig9Series struct {
 	Base     []Fig9Point
 	Spear128 []Fig9Point
 	Spear256 []Fig9Point
+	Err      error // sweep aborted at the first failing latency point
 }
 
 // Fig9Latencies are the five latency configurations of Figure 9, from
@@ -262,8 +312,13 @@ func (s *Suite) Figure9() ([]Fig9Series, error) {
 				cfgs = append(cfgs, base)
 			}
 			res, err := s.RunConfigs(p, cfgs)
+			if err == nil && (res["baseline"] == nil || res["SPEAR-128"] == nil || res["SPEAR-256"] == nil) {
+				err = fmt.Errorf("harness: %s: missing configuration results", name)
+			}
 			if err != nil {
-				return nil, err
+				// Keep the points gathered so far and mark the series.
+				series.Err = err
+				break
 			}
 			pt := func(r *cpu.Result) Fig9Point {
 				return Fig9Point{MemLatency: lat[1], L2Latency: lat[0], IPC: r.IPC}
@@ -295,6 +350,9 @@ func SummarizeFigure9(series []Fig9Series) Fig9Summary {
 	}
 	var a, b, c []float64
 	for _, sr := range series {
+		if sr.Err != nil {
+			continue // incomplete sweep; excluding it keeps the averages honest
+		}
 		a = append(a, loss(sr.Base))
 		b = append(b, loss(sr.Spear128))
 		c = append(c, loss(sr.Spear256))
@@ -319,6 +377,9 @@ func RenderFigure9(series []Fig9Series) string {
 		addRow("SPEAR-128", sr.Spear128)
 		addRow("SPEAR-256", sr.Spear256)
 		fmt.Fprintf(&b, "\n[%s]\n%s", sr.Name, t.String())
+		if sr.Err != nil {
+			fmt.Fprintf(&b, "ERROR (sweep incomplete): %v\n", sr.Err)
+		}
 	}
 	sum := SummarizeFigure9(series)
 	fmt.Fprintf(&b, "\naverage loss at longest vs shortest latency: baseline %.1f%%, SPEAR-128 %.1f%%, SPEAR-256 %.1f%%\n",

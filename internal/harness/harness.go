@@ -8,9 +8,11 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"spear/internal/cpu"
 	"spear/internal/emu"
@@ -29,11 +31,15 @@ type Options struct {
 	Log io.Writer
 	// Parallel runs independent simulations on multiple goroutines.
 	Parallel int
+	// RunTimeout is the per-simulation wall-clock watchdog: a run that
+	// exceeds it is interrupted and reported as an error instead of
+	// wedging the whole sweep. 0 disables the watchdog.
+	RunTimeout time.Duration
 }
 
 // DefaultOptions returns the paper's configuration.
 func DefaultOptions() Options {
-	opts := Options{Compiler: spearcc.DefaultOptions(), Parallel: 4}
+	opts := Options{Compiler: spearcc.DefaultOptions(), Parallel: 4, RunTimeout: 5 * time.Minute}
 	// The kernels are scaled down from the paper's hundreds of millions
 	// of instructions; scale the profiling knobs accordingly. The miss
 	// threshold separates truly delinquent loads from cold-miss noise
@@ -56,6 +62,17 @@ type Prepared struct {
 	Ref      *prog.Program   // annotated text + reference data
 	Report   *spearcc.Report // compiler diagnostics
 	RefInstr uint64          // reference-input dynamic instruction count
+}
+
+// prepareProtected isolates Prepare against panics so that one broken
+// kernel cannot take down the whole suite build.
+func prepareProtected(k workloads.Kernel, opts Options) (p *Prepared, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("harness: prepare %s: panic: %v", k.Name, r)
+		}
+	}()
+	return Prepare(k, opts)
 }
 
 // Prepare builds, profiles, and SPEAR-compiles one kernel.
@@ -92,11 +109,25 @@ type Suite struct {
 	Opts     Options
 	Prepared []*Prepared
 
+	// Failed records kernels that could not be prepared (keyed by kernel
+	// name); the suite carries on with the rest.
+	Failed map[string]error
+
 	mu    sync.Mutex
-	cache map[string]*cpu.Result
+	cache map[string]runOutcome
 }
 
-// NewSuite prepares the selected kernels.
+// runOutcome memoizes one simulation's result or error, so a failing
+// (kernel, config) pair is re-reported — not re-simulated — by every
+// experiment that shares the run.
+type runOutcome struct {
+	res *cpu.Result
+	err error
+}
+
+// NewSuite prepares the selected kernels. Preparation failures are
+// recorded in Suite.Failed rather than aborting the suite; NewSuite errors
+// only when a kernel name is unknown or no kernel could be prepared.
 func NewSuite(opts Options) (*Suite, error) {
 	names := opts.Kernels
 	if len(names) == 0 {
@@ -104,9 +135,8 @@ func NewSuite(opts Options) (*Suite, error) {
 			names = append(names, k.Name)
 		}
 	}
-	s := &Suite{Opts: opts, cache: map[string]*cpu.Result{}}
+	s := &Suite{Opts: opts, cache: map[string]runOutcome{}, Failed: map[string]error{}}
 	type slot struct {
-		idx int
 		p   *Prepared
 		err error
 	}
@@ -124,42 +154,76 @@ func NewSuite(opts Options) (*Suite, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			opts.logf("prepare %s", k.Name)
-			p, err := Prepare(k, opts)
-			results[i] = slot{idx: i, p: p, err: err}
+			p, err := prepareProtected(k, opts)
+			results[i] = slot{p: p, err: err}
 		}(i, *k)
 	}
 	wg.Wait()
-	for _, r := range results {
+	for i, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			opts.logf("prepare %s FAILED: %v", names[i], r.err)
+			s.Failed[names[i]] = r.err
+			continue
 		}
 		s.Prepared = append(s.Prepared, r.p)
+	}
+	if len(s.Prepared) == 0 {
+		for name, err := range s.Failed {
+			return nil, fmt.Errorf("harness: every kernel failed to prepare (%s: %w)", name, err)
+		}
+		return nil, fmt.Errorf("harness: no kernels selected")
 	}
 	return s, nil
 }
 
-// Run simulates one prepared kernel under cfg, memoized.
+// runProtected runs one simulation with panic isolation and the suite's
+// wall-clock watchdog: a panicking or wedged run becomes an ordinary
+// error on this (kernel, config) pair instead of killing the process or
+// hanging the sweep.
+func runProtected(p *prog.Program, cfg cpu.Config, timeout time.Duration) (res *cpu.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic in simulation: %v", r)
+		}
+	}()
+	if timeout > 0 {
+		deadline := time.Now().Add(timeout)
+		prev := cfg.Interrupt
+		cfg.Interrupt = func() bool {
+			return (prev != nil && prev()) || !time.Now().Before(deadline)
+		}
+	}
+	res, err = cpu.Run(p, cfg)
+	if err != nil && timeout > 0 && errors.Is(err, cpu.ErrInterrupted) {
+		err = fmt.Errorf("watchdog: exceeded %v: %w", timeout, err)
+	}
+	return res, err
+}
+
+// Run simulates one prepared kernel under cfg, memoized (errors included).
 func (s *Suite) Run(p *Prepared, cfg cpu.Config) (*cpu.Result, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d", p.Kernel.Name, cfg.Name, cfg.Hierarchy.L2.HitLatency, cfg.Hierarchy.MemLatency)
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
+	if o, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		return r, nil
+		return o.res, o.err
 	}
 	s.mu.Unlock()
 	s.Opts.logf("run %s on %s (mem %d)", p.Kernel.Name, cfg.Name, cfg.Hierarchy.MemLatency)
-	r, err := cpu.Run(p.Ref, cfg)
+	r, err := runProtected(p.Ref, cfg, s.Opts.RunTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, err)
+		err = fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, err)
 	}
 	s.mu.Lock()
-	s.cache[key] = r
+	s.cache[key] = runOutcome{res: r, err: err}
 	s.mu.Unlock()
-	return r, nil
+	return r, err
 }
 
 // RunConfigs simulates p under several configurations concurrently and
-// returns results keyed by config name.
+// returns results keyed by config name. On failure the map still carries
+// every configuration that did complete (partial results), alongside the
+// joined error.
 func (s *Suite) RunConfigs(p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Result, error) {
 	out := make(map[string]*cpu.Result, len(cfgs))
 	var mu sync.Mutex
@@ -183,12 +247,7 @@ func (s *Suite) RunConfigs(p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Resu
 		}(i, cfg)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // StandardConfigs returns the five machine models of Figures 6 and 7:

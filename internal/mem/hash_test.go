@@ -1,0 +1,67 @@
+package mem
+
+import "testing"
+
+// The fault-containment invariant compares memory fingerprints across
+// machines whose speculative threads peek at arbitrary addresses, so the
+// hash must be independent of which all-zero pages happen to be resident
+// and peeking must never change the page map.
+
+func TestPeekDoesNotMaterialize(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(0x2000, 0xDEADBEEF)
+	pages := m.Pages()
+	if v := m.PeekU8(0x2000); v != 0xEF {
+		t.Errorf("peek of written byte = %#x", v)
+	}
+	if v := m.PeekU8(0x9000_0000); v != 0 {
+		t.Errorf("peek of untouched address = %#x", v)
+	}
+	if m.Pages() != pages {
+		t.Errorf("peek materialized a page: %d -> %d", pages, m.Pages())
+	}
+	// An ordinary read of the same address does materialize — the contrast
+	// is the point of PeekU8.
+	_ = m.ReadU8(0x9000_0000)
+	if m.Pages() == pages {
+		t.Error("ReadU8 unexpectedly stopped materializing pages")
+	}
+}
+
+func TestHashIgnoresZeroPages(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if a.Hash() != b.Hash() {
+		t.Fatal("fresh memories hash differently")
+	}
+	_ = a.ReadU8(0x5000) // materializes an all-zero page
+	if a.Hash() != b.Hash() {
+		t.Error("resident all-zero page changed the hash")
+	}
+	a.WriteU8(0x5000, 1)
+	if a.Hash() == b.Hash() {
+		t.Error("nonzero byte did not change the hash")
+	}
+	c := NewMemory()
+	c.WriteU8(0x5000, 1)
+	if a.Hash() != c.Hash() {
+		t.Error("equal contents hash differently")
+	}
+	a.WriteU8(0x5000, 0)
+	if a.Hash() != b.Hash() {
+		t.Error("zeroed-out page still affects the hash")
+	}
+}
+
+func TestHashCoversAddressAndContents(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.WriteU8(0x5000, 7)
+	b.WriteU8(0x6000, 7) // same byte, different page
+	if a.Hash() == b.Hash() {
+		t.Error("hash ignores the page address")
+	}
+	b2 := NewMemory()
+	b2.WriteU8(0x6000, 8)
+	if b.Hash() == b2.Hash() {
+		t.Error("hash ignores the byte value")
+	}
+}

@@ -6,7 +6,9 @@ package mem
 
 import (
 	"encoding/binary"
+	"hash/fnv"
 	"math"
+	"sort"
 )
 
 const (
@@ -56,6 +58,21 @@ func crosses(addr uint32, size uint32) bool {
 
 // ReadU8 reads one byte.
 func (m *Memory) ReadU8(addr uint32) uint8 { return m.page(addr)[addr&pageMask] }
+
+// PeekU8 reads one byte without materializing the page: an unmapped
+// address reads as zero and the page map is left untouched. Speculative
+// observers (the p-thread context) use it so that garbage reads leave no
+// trace in the architectural memory image.
+func (m *Memory) PeekU8(addr uint32) uint8 {
+	base := addr &^ pageMask
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage[addr&pageMask]
+	}
+	if p, ok := m.pages[base]; ok {
+		return p[addr&pageMask]
+	}
+	return 0
+}
 
 // WriteU8 writes one byte.
 func (m *Memory) WriteU8(addr uint32, v uint8) { m.page(addr)[addr&pageMask] = v }
@@ -170,3 +187,34 @@ func (m *Memory) Clone() *Memory {
 
 // Pages reports how many 64 KiB pages have been materialized.
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Hash fingerprints the memory contents with FNV-1a. All-zero pages are
+// skipped, so the hash depends only on the bytes that read as nonzero —
+// two images that differ merely in which zero pages were materialized
+// hash identically.
+func (m *Memory) Hash() uint64 {
+	bases := make([]uint32, 0, len(m.pages))
+	for base := range m.pages {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, base := range bases {
+		p := m.pages[base]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		binary.LittleEndian.PutUint32(buf[:], base)
+		h.Write(buf[:])
+		h.Write(p[:])
+	}
+	return h.Sum64()
+}

@@ -53,6 +53,7 @@ func ReductionPercent(before, after uint64) float64 {
 type Table struct {
 	header []string
 	rows   [][]string
+	span   map[int]bool // row indices whose second cell spans all columns
 }
 
 // NewTable creates a table with the given column headers.
@@ -77,13 +78,30 @@ func (t *Table) AddRow(cells ...any) {
 // AddSeparator inserts a horizontal rule before the next row.
 func (t *Table) AddSeparator() { t.rows = append(t.rows, nil) }
 
+// AddSpanRow appends a row whose message cell spans every column after the
+// first — used for per-row error notes in partial-result sweeps. The
+// message does not influence column widths.
+func (t *Table) AddSpanRow(label, msg string) {
+	if t.span == nil {
+		t.span = map[int]bool{}
+	}
+	t.span[len(t.rows)] = true
+	t.rows = append(t.rows, []string{label, msg})
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.rows {
+	for ri, row := range t.rows {
+		if t.span[ri] {
+			if len(row) > 0 && len(row[0]) > widths[0] {
+				widths[0] = len(row[0])
+			}
+			continue
+		}
 		for i, c := range row {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -115,10 +133,21 @@ func (t *Table) String() string {
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteByte('\n')
-	for _, row := range t.rows {
+	for ri, row := range t.rows {
 		if row == nil {
 			b.WriteString(strings.Repeat("-", total))
 			b.WriteByte('\n')
+			continue
+		}
+		if t.span[ri] {
+			label, msg := "", ""
+			if len(row) > 0 {
+				label = row[0]
+			}
+			if len(row) > 1 {
+				msg = row[1]
+			}
+			fmt.Fprintf(&b, "%-*s  %s\n", widths[0], label, msg)
 			continue
 		}
 		writeRow(row)

@@ -98,3 +98,25 @@ func TestTableHandlesShortRows(t *testing.T) {
 		t.Error("short row dropped")
 	}
 }
+
+func TestTableSpanRows(t *testing.T) {
+	tab := NewTable("name", "v1", "v2")
+	tab.AddRow("alpha", 1, 2)
+	tab.AddSpanRow("beta", "ERROR: a message much wider than any of the value columns")
+	out := tab.String()
+	if !strings.Contains(out, "ERROR: a message") {
+		t.Error("span message dropped")
+	}
+	// The span message must not inflate the value-column widths: ordinary
+	// rows stay no wider than the header rule.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rule := len(lines[1])
+	for _, l := range lines {
+		if !strings.Contains(l, "ERROR") && len(l) > rule {
+			t.Errorf("line wider than rule: %q", l)
+		}
+	}
+	if !strings.HasPrefix(lines[3], "beta") {
+		t.Errorf("span row label missing: %q", lines[3])
+	}
+}
