@@ -5,6 +5,13 @@
 //
 //	spearbench [-experiment all|table1|fig6|table3|fig7|fig8|fig9|faults]
 //	           [-kernels mcf,art,...] [-parallel N] [-seed N] [-v]
+//	spearbench -json [-kernels mcf,art] > report.json
+//	spearbench -csv  [-kernels mcf,art] > report.csv
+//
+// With -json or -csv the bench instead sweeps every kernel across the five
+// machine models and emits one machine-readable report on stdout (schema
+// spear-report/1); render it with spearstat. -cpuprofile and -memprofile
+// write pprof profiles of the sweep itself.
 //
 // Running everything takes a few minutes; use -kernels to restrict the set.
 // Sweeps run in partial-results mode: a failing (kernel, machine) pair
@@ -24,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spear/internal/harness"
@@ -36,15 +44,51 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 	seed := flag.Int64("seed", 1, "fault-injection seed (faults experiment)")
 	verbose := flag.Bool("v", false, "log progress to stderr")
+	asJSON := flag.Bool("json", false, "sweep all machines and write a spear-report/1 JSON report to stdout")
+	asCSV := flag.Bool("csv", false, "sweep all machines and write a flat CSV report to stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*experiment, *kernels, *parallel, *seed, *verbose); err != nil {
+	if err := profiled(*cpuProfile, *memProfile, func() error {
+		return run(*experiment, *kernels, *parallel, *seed, *verbose, *asJSON, *asCSV)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "spearbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, kernels string, parallel int, seed int64, verbose bool) error {
+// profiled runs f under the optional pprof CPU and heap profiles.
+func profiled(cpuProfile, memProfile string, f func() error) error {
+	if cpuProfile != "" {
+		pf, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			pf, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spearbench:", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintln(os.Stderr, "spearbench:", err)
+			}
+		}()
+	}
+	return f()
+}
+
+func run(experiment, kernels string, parallel int, seed int64, verbose, asJSON, asCSV bool) error {
 	opts := harness.DefaultOptions()
 	opts.Parallel = parallel
 	if verbose {
@@ -67,6 +111,17 @@ func run(experiment, kernels string, parallel int, seed int64, verbose bool) err
 		fmt.Fprintf(os.Stderr, "spearbench: warning: kernel %s failed to prepare and is skipped: %v\n", name, perr)
 	}
 	out := io.Writer(os.Stdout)
+
+	if asJSON || asCSV {
+		if asJSON && asCSV {
+			return fmt.Errorf("-json and -csv are mutually exclusive")
+		}
+		rep := suite.SweepReport("sweep", harness.StandardConfigs())
+		if asJSON {
+			return rep.WriteJSON(out)
+		}
+		return rep.WriteCSV(out)
+	}
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	ran := false

@@ -8,6 +8,14 @@
 //	spearsim -workload mcf -machine baseline
 //	spearsim -workload art -machine SPEAR.sf-128 -mem-latency 200 -l2-latency 20
 //	spearsim -workload mcf -machine SPEAR-128 -inject corrupt-mask -seed 7
+//	spearsim -workload mcf -machine SPEAR-128 -metrics 10000 -events mcf.jsonl
+//
+// Telemetry: -events streams structured simulator events (fetch, dispatch,
+// extract, trigger, issue, commit, flush, squash, fault, session) to a JSONL
+// file (-events-binary selects the compact binary encoding instead);
+// -event-cycles bounds the stream to the first N cycles. -metrics N samples
+// interval statistics every N cycles and prints the series after the run.
+// -cpuprofile/-memprofile write pprof profiles of the simulator itself.
 //
 // Machines: baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
 // With -workload, the program is first compiled with the SPEAR compiler on
@@ -23,10 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"spear/internal/cpu"
 	"spear/internal/harness"
+	"spear/internal/mem"
+	"spear/internal/obs"
 	"spear/internal/prog"
+	"spear/internal/stats"
 	"spear/internal/workloads"
 )
 
@@ -36,19 +49,39 @@ const (
 	exitDeadlock   = 3
 )
 
+// options collects the command-line knobs that shape one simulation.
+type options struct {
+	bin, workload, machine string
+	memLat, l2Lat          int
+	trace, maxCycles       uint64
+	seed                   int64
+	inject                 string
+	events                 string
+	eventsBinary           bool
+	eventCycles            uint64
+	metrics                uint64
+}
+
 func main() {
-	bin := flag.String("bin", "", "SPEAR binary to simulate")
-	workload := flag.String("workload", "", "named workload to compile and simulate")
-	machine := flag.String("machine", "baseline", "baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256")
-	memLat := flag.Int("mem-latency", 120, "memory access latency in cycles")
-	l2Lat := flag.Int("l2-latency", 12, "L2 access latency in cycles")
-	trace := flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
-	maxCycles := flag.Uint64("max-cycles", 0, "override the deadlock cycle limit (0 = machine default)")
-	seed := flag.Int64("seed", 1, "fault-injection seed (with -inject)")
-	inject := flag.String("inject", "", "inject a p-thread fault class before simulating: corrupt-mask, bogus-trigger, truncate-live-ins, flip-opcode-bits")
+	var o options
+	flag.StringVar(&o.bin, "bin", "", "SPEAR binary to simulate")
+	flag.StringVar(&o.workload, "workload", "", "named workload to compile and simulate")
+	flag.StringVar(&o.machine, "machine", "baseline", "baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256")
+	flag.IntVar(&o.memLat, "mem-latency", 120, "memory access latency in cycles")
+	flag.IntVar(&o.l2Lat, "l2-latency", 12, "L2 access latency in cycles")
+	flag.Uint64Var(&o.trace, "trace", 0, "print a pipeline trace for the first N cycles")
+	flag.Uint64Var(&o.maxCycles, "max-cycles", 0, "override the deadlock cycle limit (0 = machine default)")
+	flag.Int64Var(&o.seed, "seed", 1, "fault-injection seed (with -inject)")
+	flag.StringVar(&o.inject, "inject", "", "inject a p-thread fault class before simulating: corrupt-mask, bogus-trigger, truncate-live-ins, flip-opcode-bits")
+	flag.StringVar(&o.events, "events", "", "write the structured event stream to this file (JSONL)")
+	flag.BoolVar(&o.eventsBinary, "events-binary", false, "write -events in the compact binary encoding instead of JSONL")
+	flag.Uint64Var(&o.eventCycles, "event-cycles", 0, "bound the event stream to the first N cycles (0 = whole run)")
+	flag.Uint64Var(&o.metrics, "metrics", 0, "sample interval metrics every N cycles and print the series")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*bin, *workload, *machine, *memLat, *l2Lat, *trace, *maxCycles, *seed, *inject); err != nil {
+	if err := profiled(*cpuProfile, *memProfile, func() error { return run(o) }); err != nil {
 		fmt.Fprintln(os.Stderr, "spearsim:", err)
 		var dl *cpu.DeadlockError
 		switch {
@@ -60,6 +93,36 @@ func main() {
 		}
 		os.Exit(exitErr)
 	}
+}
+
+// profiled runs f under the optional pprof CPU and heap profiles.
+func profiled(cpuProfile, memProfile string, f func() error) error {
+	if cpuProfile != "" {
+		pf, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			pf, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spearsim:", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintln(os.Stderr, "spearsim:", err)
+			}
+		}()
+	}
+	return f()
 }
 
 func machineConfig(name string) (cpu.Config, error) {
@@ -78,27 +141,48 @@ func machineConfig(name string) (cpu.Config, error) {
 	return cpu.Config{}, fmt.Errorf("unknown machine %q", name)
 }
 
-func run(bin, workload, machine string, memLat, l2Lat int, trace, maxCycles uint64, seed int64, inject string) error {
-	if (bin == "") == (workload == "") {
+func run(o options) error {
+	if (o.bin == "") == (o.workload == "") {
 		return fmt.Errorf("exactly one of -bin or -workload is required")
 	}
-	cfg, err := machineConfig(machine)
+	cfg, err := machineConfig(o.machine)
 	if err != nil {
 		return err
 	}
-	cfg.Hierarchy = cfg.Hierarchy.WithLatencies(l2Lat, memLat)
-	if trace > 0 {
+	cfg.Hierarchy = cfg.Hierarchy.WithLatencies(o.l2Lat, o.memLat)
+	if o.trace > 0 {
 		cfg.Trace = os.Stdout
-		cfg.TraceCycles = trace
+		cfg.TraceCycles = o.trace
 	}
-	if maxCycles > 0 {
-		cfg.MaxCycles = maxCycles
+	if o.maxCycles > 0 {
+		cfg.MaxCycles = o.maxCycles
+	}
+	cfg.MetricsInterval = o.metrics
+	if o.events != "" {
+		f, err := os.Create(o.events)
+		if err != nil {
+			return err
+		}
+		var w obs.Writer
+		if o.eventsBinary {
+			w = obs.NewBinary(f)
+		} else {
+			w = obs.NewJSONL(f)
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "spearsim:", err)
+			}
+			f.Close()
+		}()
+		cfg.Events = w
+		cfg.EventCycles = o.eventCycles
 	}
 
 	var p *prog.Program
 	switch {
-	case bin != "":
-		f, err := os.Open(bin)
+	case o.bin != "":
+		f, err := os.Open(o.bin)
 		if err != nil {
 			return err
 		}
@@ -108,9 +192,9 @@ func run(bin, workload, machine string, memLat, l2Lat int, trace, maxCycles uint
 			return err
 		}
 	default:
-		k, ok := workloads.ByName(workload)
+		k, ok := workloads.ByName(o.workload)
 		if !ok {
-			return fmt.Errorf("unknown workload %q", workload)
+			return fmt.Errorf("unknown workload %q", o.workload)
 		}
 		prep, err := harness.Prepare(*k, harness.DefaultOptions())
 		if err != nil {
@@ -119,8 +203,8 @@ func run(bin, workload, machine string, memLat, l2Lat int, trace, maxCycles uint
 		p = prep.Ref
 	}
 
-	if inject != "" {
-		return runInjected(p, cfg, harness.FaultClass(inject), seed)
+	if o.inject != "" {
+		return runInjected(p, cfg, harness.FaultClass(o.inject), o.seed)
 	}
 
 	res, err := cpu.Run(p, cfg)
@@ -128,6 +212,7 @@ func run(bin, workload, machine string, memLat, l2Lat int, trace, maxCycles uint
 		return err
 	}
 	printResult(p, res)
+	printIntervals(res)
 	return nil
 }
 
@@ -167,8 +252,10 @@ func printResult(p *prog.Program, r *cpu.Result) {
 	fmt.Printf("cond branches      %d (hit ratio %.4f, IPB %.2f)\n", r.CondBranches, r.BranchRatio, r.IPB)
 	fmt.Printf("avg IFQ occupancy  %.1f entries\n", r.AvgIFQOccupancy)
 	fmt.Printf("L1D misses         main %d, p-thread %d (accesses %d / %d)\n",
-		r.L1D.Misses[0], r.L1D.Misses[1], r.L1D.Accesses[0], r.L1D.Accesses[1])
-	fmt.Printf("L2 misses          main %d, p-thread %d\n", r.L2.Misses[0], r.L2.Misses[1])
+		r.L1D.Misses[mem.TidMain], r.L1D.Misses[mem.TidHelper],
+		r.L1D.Accesses[mem.TidMain], r.L1D.Accesses[mem.TidHelper])
+	fmt.Printf("L2 misses          main %d, p-thread %d\n",
+		r.L2.Misses[mem.TidMain], r.L2.Misses[mem.TidHelper])
 	if r.Triggers > 0 || r.Extracted > 0 {
 		fmt.Printf("triggers           %d (%d sessions completed, %d killed by flushes)\n",
 			r.Triggers, r.SessionsDone, r.SessionsKilled)
@@ -180,5 +267,28 @@ func printResult(p *prog.Program, r *cpu.Result) {
 			f.Total(), f.OOB, f.Misaligned, f.DivZero, f.Budget)
 		fmt.Printf("fault backoff      %d disables, %d suppressed triggers\n", f.Disabled, f.Suppressed)
 	}
+	if pf := r.Prefetch; pf.Fills > 0 {
+		fmt.Printf("prefetch fills     %d (timely %d, late %d, useless %d, harmful %d; %d PCs)\n",
+			pf.Fills, pf.Timely, pf.Late, pf.Useless, pf.Harmful, len(pf.PerPC))
+	}
 	fmt.Printf("final state hash   %#016x\n", r.FinalStateHash)
+}
+
+// printIntervals renders the -metrics time series as a table plus an IPC
+// sparkline.
+func printIntervals(r *cpu.Result) {
+	if len(r.Intervals) == 0 {
+		return
+	}
+	ipc := make([]float64, len(r.Intervals))
+	t := stats.NewTable("cycle", "IPC", "IFQ", "RUU", "L1D miss", "L2 miss", "active", "p-share", "triggers", "faults")
+	for i, sm := range r.Intervals {
+		ipc[i] = sm.IPC
+		t.AddRow(fmt.Sprint(sm.Cycle), sm.IPC, sm.IFQOccupancy, sm.RUUOccupancy,
+			sm.L1DMissRate, sm.L2MissRate, sm.ActiveFrac, sm.PCommitShare,
+			fmt.Sprint(sm.Triggers), fmt.Sprint(sm.PFaults))
+	}
+	fmt.Printf("\ninterval metrics (%d samples)\n%s", len(r.Intervals), t.String())
+	fmt.Printf("IPC  %s  (p50 %.3f, p95 %.3f)\n",
+		stats.Sparkline(ipc), stats.Percentile(ipc, 50), stats.Percentile(ipc, 95))
 }

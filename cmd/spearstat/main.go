@@ -1,0 +1,174 @@
+// Command spearstat renders a machine-readable sweep report (produced by
+// spearbench -json) as human-readable tables: a per-pair summary, the
+// paper's Figure 6 normalized-IPC table, interval-metric sparklines, and
+// the prefetch-usefulness breakdown.
+//
+// Usage:
+//
+//	spearbench -json | spearstat
+//	spearstat report.json
+//	spearstat -top 5 report.json
+//
+// The Figure 6 table is reproduced digit for digit from the JSON alone
+// (float64 values survive the round trip exactly), so `spearbench -json |
+// spearstat` matches `spearbench -experiment fig6` without re-simulating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"spear/internal/harness"
+	"spear/internal/mem"
+	"spear/internal/stats"
+)
+
+func main() {
+	top := flag.Int("top", 10, "prefetch PCs to list per (kernel, machine) pair")
+	flag.Parse()
+
+	if err := run(flag.Args(), *top, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spearstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, top int, out io.Writer) error {
+	in := io.Reader(os.Stdin)
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one report file (default: stdin)")
+	}
+	rep, err := harness.ReadReport(in)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, renderSummary(rep))
+	if hasMachines(rep, "baseline", "SPEAR-128", "SPEAR-256") {
+		rows, err := harness.Fig6FromReport(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.RenderFigure6(rows))
+	}
+	if s := renderIntervals(rep); s != "" {
+		fmt.Fprintln(out, s)
+	}
+	if s := renderPrefetch(rep, top); s != "" {
+		fmt.Fprintln(out, s)
+	}
+	return nil
+}
+
+func hasMachines(rep *harness.Report, names ...string) bool {
+	have := map[string]bool{}
+	for _, m := range rep.Machines {
+		have[m] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderSummary tabulates the headline statistics of every (kernel,
+// machine) pair, with per-row error notes for failed pairs.
+func renderSummary(rep *harness.Report) string {
+	t := stats.NewTable("kernel", "machine", "cycles", "IPC", "L1D miss", "triggers", "extracted", "faults")
+	prev := ""
+	for _, row := range rep.Rows {
+		if prev != "" && row.Kernel != prev {
+			t.AddSeparator()
+		}
+		prev = row.Kernel
+		if row.Result == nil {
+			t.AddSpanRow(row.Kernel, "ERROR: "+row.Error)
+			continue
+		}
+		r := row.Result
+		t.AddRow(row.Kernel, row.Config, fmt.Sprint(r.Cycles), r.IPC,
+			r.L1D.MissRate(), fmt.Sprint(r.Triggers), fmt.Sprint(r.Extracted),
+			fmt.Sprint(r.PFault.Total()))
+	}
+	title := "Sweep summary"
+	if rep.Experiment != "" {
+		title += " (" + rep.Experiment + ")"
+	}
+	return title + "\n" + t.String()
+}
+
+// renderIntervals draws one IPC sparkline per pair that carries an
+// interval-metric series.
+func renderIntervals(rep *harness.Report) string {
+	t := stats.NewTable("kernel", "machine", "samples", "IPC p50", "IPC p95", "IPC over time")
+	n := 0
+	for _, row := range rep.Rows {
+		if row.Result == nil || len(row.Result.Intervals) == 0 {
+			continue
+		}
+		n++
+		ipc := make([]float64, len(row.Result.Intervals))
+		for i, sm := range row.Result.Intervals {
+			ipc[i] = sm.IPC
+		}
+		t.AddRow(row.Kernel, row.Config, fmt.Sprint(len(ipc)),
+			stats.Percentile(ipc, 50), stats.Percentile(ipc, 95), stats.Sparkline(ipc))
+	}
+	if n == 0 {
+		return ""
+	}
+	return "Interval metrics\n" + t.String()
+}
+
+// renderPrefetch tabulates the prefetch-usefulness classification: totals
+// per pair plus the hottest prefetching PCs.
+func renderPrefetch(rep *harness.Report, top int) string {
+	t := stats.NewTable("kernel", "machine", "pc", "fills", "timely", "late", "useless", "harmful", "timely %")
+	n := 0
+	for _, row := range rep.Rows {
+		if row.Result == nil || row.Result.Prefetch.Fills == 0 {
+			continue
+		}
+		if n > 0 {
+			t.AddSeparator()
+		}
+		n++
+		pf := row.Result.Prefetch
+		addClass := func(label string, c mem.PrefetchClass) {
+			pct := 0.0
+			if c.Fills > 0 {
+				pct = 100 * float64(c.Timely) / float64(c.Fills)
+			}
+			t.AddRow(row.Kernel, row.Config, label, fmt.Sprint(c.Fills),
+				fmt.Sprint(c.Timely), fmt.Sprint(c.Late), fmt.Sprint(c.Useless),
+				fmt.Sprint(c.Harmful), pct)
+		}
+		addClass("all", pf.PrefetchClass)
+		pcs := append([]mem.PrefetchPC(nil), pf.PerPC...)
+		sort.Slice(pcs, func(i, j int) bool { return pcs[i].Fills > pcs[j].Fills })
+		if top >= 0 && len(pcs) > top {
+			pcs = pcs[:top]
+		}
+		for _, pc := range pcs {
+			addClass(fmt.Sprintf("pc %d", pc.PC), pc.PrefetchClass)
+		}
+	}
+	if n == 0 {
+		return ""
+	}
+	return "Prefetch usefulness\n" + t.String()
+}

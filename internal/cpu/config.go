@@ -22,6 +22,7 @@ import (
 	"spear/internal/bpred"
 	"spear/internal/isa"
 	"spear/internal/mem"
+	"spear/internal/obs"
 )
 
 // Config describes one machine configuration (Table 2 plus SPEAR knobs).
@@ -123,6 +124,18 @@ type Config struct {
 	// first TraceCycles cycles (see internal/cpu/trace.go).
 	Trace       io.Writer
 	TraceCycles uint64
+
+	// Events, when non-nil, receives the structured pipeline event stream
+	// for the first EventCycles cycles (0 = the whole run). The simulator
+	// flushes buffered events before Run returns but never closes the
+	// writer — the caller owns it. A write error fails the run.
+	Events      obs.Writer
+	EventCycles uint64
+
+	// MetricsInterval, when non-zero, samples interval metrics (IPC,
+	// queue occupancies, miss rates, p-thread activity) every that many
+	// cycles into Result.Intervals.
+	MetricsInterval uint64
 }
 
 // BaselineConfig returns the paper's baseline superscalar (Table 2).
@@ -263,6 +276,17 @@ type Result struct {
 	// zero on non-SPEAR machines.
 	PFault FaultStats
 
+	// Prefetch classifies every L1D block filled by the helper context
+	// (p-thread loads and stride prefetches) as timely, late, useless, or
+	// harmful, overall and per fill-site PC. Timely+Late+Useless+Harmful
+	// always equals Fills.
+	Prefetch mem.PrefetchStats
+
+	// Intervals is the interval-metrics time series, populated when
+	// Config.MetricsInterval is non-zero. The last sample may cover a
+	// partial interval.
+	Intervals []IntervalSample `json:",omitempty"`
+
 	// FinalStateHash fingerprints the main thread's final architectural
 	// state (registers, PC, retired count, and memory). Because p-thread
 	// activity is fully contained, this hash is identical across the
@@ -285,4 +309,8 @@ func (r *Result) finalize() {
 
 // MainL1Misses returns the main thread's demand D-L1 misses (Figure 8's
 // metric).
-func (r *Result) MainL1Misses() uint64 { return r.L1D.Misses[0] }
+func (r *Result) MainL1Misses() uint64 { return r.L1D.Misses[mem.TidMain] }
+
+// HelperL1Misses returns the helper context's D-L1 misses (p-thread and
+// stride-prefetch traffic).
+func (r *Result) HelperL1Misses() uint64 { return r.L1D.Misses[mem.TidHelper] }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"spear/internal/isa"
+	"spear/internal/obs"
 )
 
 // This file implements speculative fault containment. P-threads run a
@@ -179,9 +180,13 @@ func (s *sim) containFault(kind PFaultKind) {
 		}
 		h.streak = 0
 	}
+	if s.obsOn() {
+		s.traceFault(kind)
+		s.traceSession(obs.KindSessionEnd, "fault:"+kind.String())
+		s.traceTrigger("fault contained: " + kind.String())
+	}
 	s.mode = modeNormal
 	s.pStateValid = false
-	s.traceTrigger("fault contained: " + kind.String())
 }
 
 // recordCleanSession decays the fault state of the p-thread keyed by

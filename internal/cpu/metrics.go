@@ -1,0 +1,105 @@
+package cpu
+
+// Interval metrics: when Config.MetricsInterval is non-zero, the simulator
+// samples a fixed set of rates every interval into Result.Intervals,
+// giving a time-resolved view of the run (phase behaviour, trigger bursts,
+// backoff windows) that the end-of-run aggregates average away.
+
+// IntervalSample is one row of the interval-metrics time series. Rates are
+// computed over the interval only (deltas of the global counters), not
+// cumulatively.
+type IntervalSample struct {
+	// Cycle is the cycle at the end of the interval (exclusive); the
+	// interval covers [Cycle-Cycles, Cycle).
+	Cycle  uint64
+	Cycles uint64 // == Config.MetricsInterval except for a final partial sample
+
+	Committed  uint64  // main-thread instructions retired in the interval
+	PCommitted uint64  // p-thread instructions retired in the interval
+	IPC        float64 // Committed / Cycles
+
+	IFQOccupancy float64 // mean valid IFQ entries per cycle
+	RUUOccupancy float64 // mean combined (main + p) RUU entries per cycle
+
+	L1DMissRate float64 // both threads, interval-local
+	L2MissRate  float64
+
+	// ActiveFrac is the fraction of the interval's cycles the PE spent in
+	// pre-execution mode (a session actively extracting).
+	ActiveFrac float64
+	// PCommitShare is the p-thread's share of all instructions retired in
+	// the interval.
+	PCommitShare float64
+
+	Triggers uint64 // trigger sessions armed in the interval
+	PFaults  uint64 // p-thread faults contained in the interval
+}
+
+// mtrState carries the per-cycle accumulators and the interval-start
+// snapshots of the global counters the sampler differences against.
+type mtrState struct {
+	ruuOcc uint64 // sum of per-cycle combined RUU occupancy
+	active uint64 // cycles spent in modeActive
+
+	// Snapshots at the start of the current interval.
+	cycle      uint64
+	occAccum   uint64
+	committed  uint64
+	pcommitted uint64
+	l1a, l1m   uint64
+	l2a, l2m   uint64
+	triggers   uint64
+	faults     uint64
+}
+
+// sampleInterval closes the current interval, appends its sample, and
+// re-snapshots. A zero-length interval (finish() right after a sample) is
+// a no-op.
+func (s *sim) sampleInterval() {
+	cycles := s.cycle - s.mtr.cycle
+	if cycles == 0 {
+		return
+	}
+	l1 := &s.hier.L1D.Stats
+	l2 := &s.hier.L2.Stats
+	l1a := l1.Accesses[tidMain] + l1.Accesses[tidP]
+	l1m := l1.Misses[tidMain] + l1.Misses[tidP]
+	l2a := l2.Accesses[tidMain] + l2.Accesses[tidP]
+	l2m := l2.Misses[tidMain] + l2.Misses[tidP]
+
+	sm := IntervalSample{
+		Cycle:      s.cycle,
+		Cycles:     cycles,
+		Committed:  s.res.MainCommitted - s.mtr.committed,
+		PCommitted: s.res.PCommitted - s.mtr.pcommitted,
+		Triggers:   s.res.Triggers - s.mtr.triggers,
+		PFaults:    s.res.PFault.Total() - s.mtr.faults,
+	}
+	sm.IPC = float64(sm.Committed) / float64(cycles)
+	sm.IFQOccupancy = float64(s.occAccum-s.mtr.occAccum) / float64(cycles)
+	sm.RUUOccupancy = float64(s.mtr.ruuOcc) / float64(cycles)
+	if d := l1a - s.mtr.l1a; d > 0 {
+		sm.L1DMissRate = float64(l1m-s.mtr.l1m) / float64(d)
+	}
+	if d := l2a - s.mtr.l2a; d > 0 {
+		sm.L2MissRate = float64(l2m-s.mtr.l2m) / float64(d)
+	}
+	sm.ActiveFrac = float64(s.mtr.active) / float64(cycles)
+	if tot := sm.Committed + sm.PCommitted; tot > 0 {
+		sm.PCommitShare = float64(sm.PCommitted) / float64(tot)
+	}
+	s.res.Intervals = append(s.res.Intervals, sm)
+
+	s.mtr = mtrState{
+		cycle:      s.cycle,
+		occAccum:   s.occAccum,
+		committed:  s.res.MainCommitted,
+		pcommitted: s.res.PCommitted,
+		l1a:        l1a,
+		l1m:        l1m,
+		l2a:        l2a,
+		l2m:        l2m,
+		triggers:   s.res.Triggers,
+		faults:     s.res.PFault.Total(),
+	}
+}

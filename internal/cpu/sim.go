@@ -8,13 +8,16 @@ import (
 	"spear/internal/emu"
 	"spear/internal/isa"
 	"spear/internal/mem"
+	"spear/internal/obs"
 	"spear/internal/prog"
 )
 
 // Thread IDs. The main program is context 0; the p-thread is context 1.
+// They alias the hierarchy-wide constants so that every per-thread
+// statistics array (here and in internal/mem) is indexed consistently.
 const (
-	tidMain = 0
-	tidP    = 1
+	tidMain = mem.TidMain
+	tidP    = mem.TidHelper
 )
 
 // ErrDeadlock is returned when the pipeline stops making progress. The
@@ -251,6 +254,13 @@ type sim struct {
 
 	// Fault containment: per-d-load confidence/backoff state.
 	health map[int]*ptHealth
+
+	// Telemetry (see trace.go and metrics.go). rec is nil when neither
+	// Config.Trace nor Config.Events is set; sessID numbers pre-execution
+	// sessions for the event stream.
+	rec    *obs.Recorder
+	sessID uint64
+	mtr    mtrState
 }
 
 // Run simulates the program to completion under cfg and returns statistics.
@@ -262,7 +272,11 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := s.runLoop(); err != nil {
+	err = s.runLoop()
+	// Deliver buffered telemetry even when the run aborted: a partial
+	// event stream is exactly what a deadlock diagnosis needs.
+	s.rec.Flush()
+	if err != nil {
 		return nil, err
 	}
 	return s.finish()
@@ -348,6 +362,20 @@ func newSim(p *prog.Program, cfg Config) (*sim, error) {
 	if cfg.StridePrefetch {
 		s.stride = newStridePrefetcher(256, cfg.StrideDegree)
 	}
+
+	// Telemetry sinks share one recorder; each keeps its own cycle window.
+	// A Trace writer without TraceCycles is the documented "off" state.
+	if (cfg.Trace != nil && cfg.TraceCycles > 0) || cfg.Events != nil {
+		rec := obs.NewRecorder()
+		if cfg.Trace != nil && cfg.TraceCycles > 0 {
+			rec.Attach(obs.NewText(cfg.Trace), cfg.TraceCycles)
+		}
+		if cfg.Events != nil {
+			rec.Attach(cfg.Events, cfg.EventCycles)
+		}
+		s.rec = rec
+	}
+
 	s.oracle.Hook = func(ev *emu.Event) { s.lastEv = *ev }
 	return s, nil
 }
@@ -386,8 +414,15 @@ func (s *sim) finish() (*Result, error) {
 	}
 	s.res.L1D = s.hier.L1D.Stats
 	s.res.L2 = s.hier.L2.Stats
+	s.res.Prefetch = s.hier.FinalizePrefetch()
+	if s.cfg.MetricsInterval != 0 {
+		s.sampleInterval() // final partial interval (no-op when empty)
+	}
 	s.res.FinalStateHash = s.oracle.StateHash()
 	s.res.finalize()
+	if err := s.rec.Err(); err != nil {
+		return nil, fmt.Errorf("cpu: telemetry write failed: %w", err)
+	}
 	return &s.res, nil
 }
 
@@ -406,6 +441,12 @@ func (s *sim) stepCycle() {
 	}
 
 	s.occAccum += uint64(s.ifqCount())
+	if s.cfg.MetricsInterval != 0 {
+		s.mtr.ruuOcc += uint64(s.ruu[tidMain].count() + s.ruu[tidP].count())
+		if s.mode == modeActive {
+			s.mtr.active++
+		}
+	}
 	s.commitStage()
 	s.completeStage()
 	s.issueStage()
@@ -420,6 +461,9 @@ func (s *sim) stepCycle() {
 		s.readyNext[t] = s.readyNext[t][:0]
 	}
 	s.cycle++
+	if iv := s.cfg.MetricsInterval; iv != 0 && s.cycle-s.mtr.cycle >= iv {
+		s.sampleInterval()
+	}
 }
 
 // ---------------------------------------------------------------- commit
@@ -512,6 +556,7 @@ func (s *sim) recover(branchSeq uint64) {
 	s.ifqHead = s.ifqTail
 	// Squash younger main-thread entries (they are all wrong-path).
 	q := &s.ruu[tidMain]
+	squashed := 0
 	for q.tail > q.head {
 		e := q.at(q.tail - 1)
 		if !e.valid || e.seq <= branchSeq {
@@ -522,7 +567,9 @@ func (s *sim) recover(branchSeq uint64) {
 		}
 		e.valid = false
 		q.tail--
+		squashed++
 	}
+	s.traceSquash(squashed)
 	// The IFQ flush destroys the p-thread's *source*: an armed or
 	// extracting session loses the entries it would have consumed and
 	// dies. Already-extracted instructions live in the p-thread's own
@@ -610,6 +657,7 @@ func (s *sim) issueStage() {
 			budget--
 			lat := s.execLatency(e, tid)
 			e.state = stIssued
+			s.traceIssue(tid, e, lat)
 			done := s.cycle + uint64(lat)
 			s.evq[done&s.evqMask] = append(s.evq[done&s.evqMask], r)
 		}
@@ -661,14 +709,14 @@ func (s *sim) execLatency(e *ruuEntry, tid int) int {
 			// shared hierarchy; its traffic is charged to the helper
 			// slot of the cache statistics, like the p-thread's.
 			for _, pa := range s.stride.observe(e.pc, e.addr) {
-				s.hier.AccessAt(pa, false, tidP, s.cycle)
+				s.hier.AccessAtPC(pa, false, tidP, s.cycle, e.pc)
 				s.res.StridePrefetches++
 			}
 		}
 		return lat
 	case e.isLoad && tid == tidP:
 		s.res.PrefetchLoads++
-		lat := s.hier.AccessAt(e.addr, false, tidP, s.cycle).Latency
+		lat := s.hier.AccessAtPC(e.addr, false, tidP, s.cycle, e.pc).Latency
 		if s.leafPLoad[e.pc] {
 			// Fire-and-forget: nothing in any p-thread consumes this
 			// load's value, so the context entry retires as soon as the

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"spear/internal/isa"
+	"spear/internal/obs"
 )
 
 // This file implements the SPEAR-specific hardware: pre-decode marking
@@ -63,7 +64,9 @@ func (s *sim) preDecode(fe *ifqEntry) {
 	if !s.cfg.SoftwareTrigger && s.pStateValid && s.pScanPos >= s.ifqHead {
 		s.mode = modeActive
 		s.sess = session{pt: pt, dloadSeq: fe.seq, scanPos: s.pScanPos, startCycle: s.cycle}
+		s.sessID++
 		s.traceTrigger("armed (continuation)")
+		s.traceSession(obs.KindSessionBegin, "continuation")
 		return
 	}
 
@@ -87,7 +90,9 @@ func (s *sim) preDecode(fe *ifqEntry) {
 			s.sess.producers = append(s.sess.producers, pr)
 		}
 	}
+	s.sessID++
 	s.traceTrigger("armed (re-align)")
+	s.traceSession(obs.KindSessionBegin, "re-align")
 }
 
 // triggerStage advances the trigger state machine: wait for the decode
@@ -181,6 +186,7 @@ func (s *sim) activateSession() {
 // through here (see finishExtraction).
 func (s *sim) killSession() {
 	s.res.SessionsKilled++
+	s.traceSession(obs.KindSessionEnd, "killed")
 	s.mode = modeNormal
 	s.pStateValid = false
 }
@@ -217,7 +223,7 @@ func (s *sim) extractStage() int {
 		// d-load detection re-arms with a fresh live-in copy.
 		s.sess.scanPos = s.ifqHead
 		s.pStateValid = false
-		s.finishExtraction()
+		s.finishExtraction("stale")
 		return 0
 	}
 	extracted := 0
@@ -226,7 +232,7 @@ func (s *sim) extractStage() int {
 			// Ran dry. Stay armed while the queue is deep enough for
 			// timely prefetching; otherwise deactivate.
 			if s.ifqCount() < s.triggerOccupancy() {
-				s.finishExtraction()
+				s.finishExtraction("done")
 			}
 			break
 		}
@@ -269,8 +275,10 @@ func (s *sim) extractStage() int {
 // finishExtraction deactivates the PE: the machine returns to normal mode
 // so a later fetch-time d-load detection can arm a new trigger. Extracted
 // instructions keep draining through the p-thread context; their
-// prefetches are in flight.
-func (s *sim) finishExtraction() {
+// prefetches are in flight. reason goes to the session-end event ("done"
+// when the PE ran dry, "stale" when decode overran the p-thread head).
+func (s *sim) finishExtraction(reason string) {
+	s.traceSession(obs.KindSessionEnd, reason)
 	s.pScanPos = s.sess.scanPos
 	s.mode = modeNormal
 }

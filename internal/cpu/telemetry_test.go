@@ -1,0 +1,285 @@
+package cpu
+
+import (
+	"testing"
+
+	"spear/internal/asm"
+	"spear/internal/obs"
+	"spear/internal/prog"
+)
+
+func TestEventStreamInvariants(t *testing.T) {
+	p := compileSPEAR(t, 61, 62)
+	cfg := SPEARConfig(128, false)
+	col := &obs.Collector{}
+	cfg.Events = col
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits, extracts, triggers, faults, begins, ends uint64
+	var lastCycle uint64
+	for _, e := range col.Events {
+		if e.Cycle < lastCycle {
+			t.Fatalf("event stream out of order: cycle %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case obs.KindCommit:
+			if e.Tid == tidMain {
+				commits++
+			}
+		case obs.KindExtract:
+			extracts++
+		case obs.KindTrigger:
+			triggers++
+		case obs.KindFault:
+			faults++
+		case obs.KindSessionBegin:
+			begins++
+		case obs.KindSessionEnd:
+			ends++
+		}
+	}
+	if commits != res.MainCommitted {
+		t.Errorf("commit events %d != MainCommitted %d", commits, res.MainCommitted)
+	}
+	if extracts != res.Extracted {
+		t.Errorf("extract events %d != Extracted %d", extracts, res.Extracted)
+	}
+	if faults != res.PFault.Total() {
+		t.Errorf("fault events %d != contained faults %d", faults, res.PFault.Total())
+	}
+	// Every arm emits one trigger event and one session-begin; every
+	// contained fault emits one more trigger note.
+	if triggers != res.Triggers+res.PFault.Total() {
+		t.Errorf("trigger events %d != Triggers %d + faults %d",
+			triggers, res.Triggers, res.PFault.Total())
+	}
+	if begins != res.Triggers {
+		t.Errorf("session-begin events %d != Triggers %d", begins, res.Triggers)
+	}
+	// A session may still be live when the run halts: at most one
+	// unmatched begin.
+	if ends > begins || begins-ends > 1 {
+		t.Errorf("unbalanced sessions: %d begins, %d ends", begins, ends)
+	}
+	if begins == 0 {
+		t.Error("SPEAR run armed no sessions")
+	}
+}
+
+func TestEventCyclesBoundsTheStream(t *testing.T) {
+	p := compileSPEAR(t, 61, 62)
+	cfg := SPEARConfig(128, false)
+
+	all := &obs.Collector{}
+	cfg.Events = all
+	if _, err := Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bounded := &obs.Collector{}
+	cfg.Events = bounded
+	cfg.EventCycles = 500
+	if _, err := Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range bounded.Events {
+		if e.Cycle >= 500 {
+			t.Fatalf("event at cycle %d past EventCycles=500", e.Cycle)
+		}
+	}
+	if len(bounded.Events) == 0 || len(bounded.Events) >= len(all.Events) {
+		t.Errorf("bounded stream has %d events, unbounded %d", len(bounded.Events), len(all.Events))
+	}
+}
+
+func TestTelemetryDoesNotChangeTiming(t *testing.T) {
+	p := compileSPEAR(t, 63, 64)
+	cfg := SPEARConfig(128, false)
+	r1, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Events = &obs.Collector{}
+	cfg.MetricsInterval = 250
+	r2, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Extracted != r2.Extracted || r1.FinalStateHash != r2.FinalStateHash {
+		t.Error("enabling telemetry changed simulation results")
+	}
+}
+
+func TestIntervalMetricsSeries(t *testing.T) {
+	p := compileSPEAR(t, 61, 62)
+	cfg := SPEARConfig(128, false)
+	const interval = 500
+	cfg.MetricsInterval = interval
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no interval samples")
+	}
+	var cycles, committed, pcommitted, triggers uint64
+	var prevEnd uint64
+	for i, sm := range res.Intervals {
+		if sm.Cycle-sm.Cycles != prevEnd {
+			t.Fatalf("sample %d covers [%d,%d), previous ended at %d",
+				i, sm.Cycle-sm.Cycles, sm.Cycle, prevEnd)
+		}
+		prevEnd = sm.Cycle
+		if sm.Cycles > interval {
+			t.Errorf("sample %d spans %d cycles (> interval)", i, sm.Cycles)
+		}
+		if i < len(res.Intervals)-1 && sm.Cycles != interval {
+			t.Errorf("non-final sample %d spans %d cycles", i, sm.Cycles)
+		}
+		if sm.IFQOccupancy < 0 || sm.IFQOccupancy > float64(cfg.IFQSize) {
+			t.Errorf("sample %d IFQ occupancy %v out of range", i, sm.IFQOccupancy)
+		}
+		if sm.L1DMissRate < 0 || sm.L1DMissRate > 1 || sm.L2MissRate < 0 || sm.L2MissRate > 1 {
+			t.Errorf("sample %d miss rates out of range: %+v", i, sm)
+		}
+		if sm.ActiveFrac < 0 || sm.ActiveFrac > 1 {
+			t.Errorf("sample %d active fraction %v out of range", i, sm.ActiveFrac)
+		}
+		cycles += sm.Cycles
+		committed += sm.Committed
+		pcommitted += sm.PCommitted
+		triggers += sm.Triggers
+	}
+	if cycles != res.Cycles {
+		t.Errorf("interval cycles sum to %d, run took %d", cycles, res.Cycles)
+	}
+	if committed != res.MainCommitted {
+		t.Errorf("interval commits sum to %d, run committed %d", committed, res.MainCommitted)
+	}
+	if pcommitted != res.PCommitted {
+		t.Errorf("interval p-commits sum to %d, run committed %d", pcommitted, res.PCommitted)
+	}
+	if triggers != res.Triggers {
+		t.Errorf("interval triggers sum to %d, run armed %d", triggers, res.Triggers)
+	}
+	if last := res.Intervals[len(res.Intervals)-1]; last.Cycle != res.Cycles {
+		t.Errorf("last sample ends at %d, run took %d", last.Cycle, res.Cycles)
+	}
+}
+
+func TestMetricsDisabledLeavesIntervalsEmpty(t *testing.T) {
+	p := assemble(t, corePrograms["counted loop"])
+	res, err := Run(p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 0 {
+		t.Errorf("intervals sampled without MetricsInterval: %d", len(res.Intervals))
+	}
+}
+
+func TestPrefetchAccountingOnResult(t *testing.T) {
+	p := compileSPEAR(t, 61, 62)
+	res, err := Run(p, SPEARConfig(128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := res.Prefetch
+	if pf.Fills == 0 {
+		t.Fatal("SPEAR run filled no blocks via the helper context")
+	}
+	if got := pf.Classified(); got != pf.Fills {
+		t.Fatalf("classified %d of %d fills", got, pf.Fills)
+	}
+	var sum PrefetchSum
+	for _, row := range pf.PerPC {
+		if row.Classified() != row.Fills {
+			t.Errorf("pc %d: classified %d of %d fills", row.PC, row.Classified(), row.Fills)
+		}
+		sum.fills += row.Fills
+		sum.timely += row.Timely
+		sum.late += row.Late
+		sum.useless += row.Useless
+		sum.harmful += row.Harmful
+	}
+	if sum.fills != pf.Fills || sum.timely != pf.Timely || sum.late != pf.Late ||
+		sum.useless != pf.Useless || sum.harmful != pf.Harmful {
+		t.Errorf("per-PC rows do not sum to totals: %+v vs %+v", sum, pf.PrefetchClass)
+	}
+}
+
+type PrefetchSum struct{ fills, timely, late, useless, harmful uint64 }
+
+func TestBaselineHasNoPrefetchFills(t *testing.T) {
+	p := pointerishKernel(t, 55)
+	res, err := Run(p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetch.Fills != 0 || len(res.Prefetch.PerPC) != 0 {
+		t.Errorf("baseline machine recorded helper fills: %+v", res.Prefetch.PrefetchClass)
+	}
+}
+
+// TestTelemetryDisabledPathDoesNotAllocate asserts the ISSUE's zero-cost
+// guarantee: with no sinks attached, every emit helper is a nil check.
+func TestTelemetryDisabledPathDoesNotAllocate(t *testing.T) {
+	p := assemble(t, corePrograms["counted loop"])
+	s, err := newSim(p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := ifqEntry{pc: 3, marked: true, isMem: true, addr: 0x2000}
+	e := ruuEntry{pc: 3, seq: 9, isLoad: true, addr: 0x2000}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.traceFetch(&fe)
+		s.traceDispatch(tidMain, &e)
+		s.traceIssue(tidP, &e, 12)
+		s.traceCommit(tidMain, &e)
+		s.traceTrigger("armed (re-align)")
+		s.traceFlush(7)
+		s.traceSquash(5)
+		s.traceFault(PFaultOOB)
+		s.traceSession(obs.KindSessionBegin, "re-align")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry path allocates %.1f times per cycle", allocs)
+	}
+}
+
+// benchProgram assembles the memory-bound benchmark kernel.
+func benchProgram(b *testing.B) *prog.Program {
+	b.Helper()
+	p, err := asm.Assemble("bench.s", corePrograms["counted loop"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkTelemetryOff(b *testing.B) {
+	p := benchProgram(b)
+	cfg := fastConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryOn(b *testing.B) {
+	p := benchProgram(b)
+	cfg := fastConfig()
+	cfg.MetricsInterval = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := &obs.Collector{}
+		cfg.Events = col
+		if _, err := Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,82 +2,166 @@ package cpu
 
 import (
 	"fmt"
-	"io"
+
+	"spear/internal/obs"
 )
 
-// Pipeline tracing: when Config.Trace is set, the simulator emits one line
-// per interesting event for the first Config.TraceCycles cycles — fetches,
-// dispatches, extractions, trigger transitions, issues, and commits. The
-// format is stable enough for tooling but intended for humans debugging a
-// kernel's interaction with the SPEAR front end (spearsim -trace).
+// Telemetry emission: the simulator reports pipeline activity as typed
+// obs.Events through a single recorder. Two consumer paths share it:
+//
+//   - Config.Trace + TraceCycles attaches a human-readable text sink
+//     (spearsim -trace), bounded to the first TraceCycles cycles.
+//   - Config.Events + EventCycles attaches a structured sink (JSONL or
+//     binary, spearsim -events), 0 meaning the whole run.
+//
+// Every emit helper is guarded by obsOn(), a nil-safe check that makes
+// the disabled path a single comparison with zero allocations (asserted
+// by TestTelemetryDisabledPathDoesNotAllocate).
 
-func (s *sim) tracing() bool {
-	return s.cfg.Trace != nil && s.cycle < s.cfg.TraceCycles
+// obsOn reports whether any telemetry sink wants events this cycle.
+func (s *sim) obsOn() bool { return s.rec.Active(s.cycle) }
+
+// emit stamps the current cycle onto ev and hands it to the recorder.
+// Callers must have checked obsOn.
+func (s *sim) emit(ev obs.Event) {
+	ev.Cycle = s.cycle
+	s.rec.Emit(ev)
 }
 
-func (s *sim) tracef(format string, args ...any) {
-	if s.tracing() {
-		fmt.Fprintf(s.cfg.Trace, "%8d  ", s.cycle)
-		fmt.Fprintf(s.cfg.Trace, format+"\n", args...)
-	}
-}
-
-// traceEvent names used by the tests.
+// Event names used by the tests; they mirror the obs.Kind strings.
 const (
 	evFetch   = "fetch"
 	evDisp    = "dispatch"
 	evExtract = "extract"
 	evTrigger = "trigger"
+	evIssue   = "issue"
 	evCommit  = "commit"
 	evFlush   = "flush"
+	evSquash  = "squash"
+	evFault   = "fault"
 )
 
+// memAddr returns the entry's memory operand address, 0 for non-memory
+// instructions (the event schema reserves Addr for real addresses).
+func memAddr(e *ruuEntry) uint32 {
+	if e.isLoad || e.isStore {
+		return e.addr
+	}
+	return 0
+}
+
 func (s *sim) traceFetch(fe *ifqEntry) {
-	if !s.tracing() {
+	if !s.obsOn() {
 		return
 	}
-	kind := ""
+	var flags uint8
 	if fe.bogus {
-		kind = " [wrong-path]"
+		flags |= obs.FlagWrongPath
 	}
-	mark := ""
 	if fe.marked {
-		mark = " [marked]"
+		flags |= obs.FlagMarked
 	}
-	s.tracef("%s   pc=%-5d %v%s%s", evFetch, fe.pc, fe.in, kind, mark)
+	var addr uint32
+	if fe.isMem {
+		addr = fe.addr
+	}
+	s.emit(obs.Event{
+		Kind: obs.KindFetch, Tid: tidMain,
+		PC: int32(fe.pc), Seq: fe.seq, Addr: addr, Flags: flags,
+		Text: fe.in.String(),
+	})
 }
 
 func (s *sim) traceDispatch(tid int, e *ruuEntry) {
-	if !s.tracing() {
+	if !s.obsOn() {
 		return
 	}
-	who := "main"
-	ev := evDisp
+	k := obs.KindDispatch
 	if tid == tidP {
-		who = "p   "
-		ev = evExtract
+		k = obs.KindExtract
 	}
-	s.tracef("%s %s pc=%-5d %v", ev, who, e.pc, e.in)
+	s.emit(obs.Event{
+		Kind: k, Tid: uint8(tid),
+		PC: int32(e.pc), Seq: e.seq, Addr: memAddr(e),
+		Text: e.in.String(),
+	})
 }
 
-func (s *sim) traceTrigger(action string) {
-	s.tracef("%s %s (occupancy %d, p-head %d)", evTrigger, action, s.ifqCount(), s.pScanPos)
+func (s *sim) traceIssue(tid int, e *ruuEntry, lat int) {
+	if !s.obsOn() {
+		return
+	}
+	s.emit(obs.Event{
+		Kind: obs.KindIssue, Tid: uint8(tid),
+		PC: int32(e.pc), Seq: e.seq, Addr: memAddr(e), Arg: uint64(lat),
+		Text: e.in.String(),
+	})
 }
 
 func (s *sim) traceCommit(tid int, e *ruuEntry) {
-	if !s.tracing() {
+	if !s.obsOn() {
 		return
 	}
-	who := "main"
-	if tid == tidP {
-		who = "p   "
+	s.emit(obs.Event{
+		Kind: obs.KindCommit, Tid: uint8(tid),
+		PC: int32(e.pc), Seq: e.seq, Addr: memAddr(e),
+		Text: e.in.String(),
+	})
+}
+
+func (s *sim) traceTrigger(action string) {
+	if !s.obsOn() {
+		return
 	}
-	s.tracef("%s  %s pc=%-5d %v", evCommit, who, e.pc, e.in)
+	s.emit(obs.Event{
+		Kind: obs.KindTrigger, Tid: tidP, Arg: s.sessID,
+		Text: fmt.Sprintf("%s (occupancy %d, p-head %d)", action, s.ifqCount(), s.pScanPos),
+	})
 }
 
 func (s *sim) traceFlush(branchSeq uint64) {
-	s.tracef("%s  redirect after seq %d", evFlush, branchSeq)
+	if !s.obsOn() {
+		return
+	}
+	s.emit(obs.Event{Kind: obs.KindFlush, Tid: tidMain, Arg: branchSeq})
 }
 
-// nullTrace discards (used to keep call sites simple when disabled).
-var _ io.Writer = io.Discard
+func (s *sim) traceSquash(entries int) {
+	if !s.obsOn() || entries == 0 {
+		return
+	}
+	s.emit(obs.Event{Kind: obs.KindSquash, Tid: tidMain, Arg: uint64(entries)})
+}
+
+func (s *sim) traceFault(kind PFaultKind) {
+	if !s.obsOn() {
+		return
+	}
+	var dload int
+	if s.sess.pt != nil {
+		dload = s.sess.pt.DLoad
+	}
+	s.emit(obs.Event{
+		Kind: obs.KindFault, Tid: tidP,
+		PC: int32(dload), Arg: uint64(kind),
+		Text: kind.String(),
+	})
+}
+
+// traceSession emits a session-begin or session-end event for the current
+// session; text is the begin mode ("re-align", "continuation") or the end
+// reason ("done", "killed", "stale", "fault:<kind>").
+func (s *sim) traceSession(kind obs.Kind, text string) {
+	if !s.obsOn() {
+		return
+	}
+	var dload int
+	if s.sess.pt != nil {
+		dload = s.sess.pt.DLoad
+	}
+	s.emit(obs.Event{
+		Kind: kind, Tid: tidP,
+		PC: int32(dload), Arg: s.sessID,
+		Text: text,
+	})
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"spear/internal/cpu"
+)
+
+// Machine-readable reporting: a sweep serializes to one Report — every
+// (kernel, machine) simulation result plus per-pair errors — which
+// round-trips through JSON losslessly (float64 values re-parse to the
+// exact same bits), so downstream tooling (spearstat) reproduces the
+// harness's text tables digit for digit from the JSON alone.
+
+// ReportSchema identifies the report wire format; bump it on breaking
+// changes so readers can refuse files they do not understand.
+const ReportSchema = "spear-report/1"
+
+// Report is the machine-readable result of one sweep.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Experiment string      `json:"experiment,omitempty"`
+	Machines   []string    `json:"machines"`
+	Kernels    []string    `json:"kernels"`
+	Rows       []ReportRow `json:"rows"`
+}
+
+// ReportRow is one (kernel, machine) outcome. Exactly one of Result and
+// Error is set; a kernel that failed preparation has a single row with an
+// empty Config.
+type ReportRow struct {
+	Kernel string      `json:"kernel"`
+	Config string      `json:"config,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Result *cpu.Result `json:"result,omitempty"`
+}
+
+// SweepReport simulates every prepared kernel under every configuration
+// (memoized with the figure experiments) and assembles the report.
+// Per-pair failures and preparation failures become error rows; the sweep
+// itself never aborts.
+func (s *Suite) SweepReport(experiment string, cfgs []cpu.Config) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: experiment}
+	for _, cfg := range cfgs {
+		rep.Machines = append(rep.Machines, cfg.Name)
+	}
+	for _, p := range s.Prepared {
+		rep.Kernels = append(rep.Kernels, p.Kernel.Name)
+		for _, cfg := range cfgs {
+			row := ReportRow{Kernel: p.Kernel.Name, Config: cfg.Name}
+			if res, err := s.Run(p, cfg); err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Result = res
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	failed := make([]string, 0, len(s.Failed))
+	for name := range s.Failed {
+		failed = append(failed, name)
+	}
+	sort.Strings(failed)
+	for _, name := range failed {
+		rep.Kernels = append(rep.Kernels, name)
+		rep.Rows = append(rep.Rows, ReportRow{Kernel: name, Error: s.Failed[name].Error()})
+	}
+	return rep
+}
+
+// Lookup returns the row for (kernel, config), or nil. A preparation
+// failure matches any config so that per-kernel errors surface everywhere
+// the kernel is asked for.
+func (r *Report) Lookup(kernel, config string) *ReportRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Kernel != kernel {
+			continue
+		}
+		if row.Config == config || (row.Config == "" && row.Error != "") {
+			return row
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport decodes a JSON report and checks its schema tag.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("harness: decoding report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("harness: report schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// csvHeader lists the flat per-row columns of the CSV form.
+var csvHeader = []string{
+	"kernel", "config", "error",
+	"cycles", "ipc", "main_committed", "p_committed",
+	"avg_ifq_occupancy", "branch_ratio", "ipb",
+	"l1d_misses_main", "l1d_misses_helper", "l2_miss_rate",
+	"triggers", "sessions_done", "sessions_killed", "extracted",
+	"prefetch_loads", "stride_prefetches", "pfaults",
+	"pf_fills", "pf_timely", "pf_late", "pf_useless", "pf_harmful",
+}
+
+// WriteCSV serializes the report as a flat CSV (one line per row; error
+// rows keep the identification columns and leave the metrics empty).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, row := range r.Rows {
+		rec := []string{row.Kernel, row.Config, row.Error}
+		if res := row.Result; res != nil {
+			rec = append(rec,
+				u(res.Cycles), f(res.IPC), u(res.MainCommitted), u(res.PCommitted),
+				f(res.AvgIFQOccupancy), f(res.BranchRatio), f(res.IPB),
+				u(res.MainL1Misses()), u(res.HelperL1Misses()), f(res.L2.MissRate()),
+				u(res.Triggers), u(res.SessionsDone), u(res.SessionsKilled), u(res.Extracted),
+				u(res.PrefetchLoads), u(res.StridePrefetches), u(res.PFault.Total()),
+				u(res.Prefetch.Fills), u(res.Prefetch.Timely), u(res.Prefetch.Late),
+				u(res.Prefetch.Useless), u(res.Prefetch.Harmful),
+			)
+		} else {
+			rec = append(rec, make([]string, len(csvHeader)-3)...)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig6FromReport reconstructs the Figure 6 rows from a sweep report that
+// covers the baseline, SPEAR-128, and SPEAR-256 machines. Because float64
+// values survive the JSON round trip exactly, RenderFigure6 on the
+// returned rows reproduces the live harness table digit for digit.
+func Fig6FromReport(rep *Report) ([]Fig6Row, error) {
+	if len(rep.Kernels) == 0 {
+		return nil, fmt.Errorf("harness: report has no kernels")
+	}
+	rows := make([]Fig6Row, 0, len(rep.Kernels))
+	for _, name := range rep.Kernels {
+		row := Fig6Row{Name: name}
+		get := func(config string) *cpu.Result {
+			r := rep.Lookup(name, config)
+			switch {
+			case r == nil:
+				if row.Err == nil {
+					row.Err = fmt.Errorf("harness: %s: missing configuration results", name)
+				}
+			case r.Error != "":
+				if row.Err == nil {
+					row.Err = errors.New(r.Error)
+				}
+			default:
+				return r.Result
+			}
+			return nil
+		}
+		row.Base = get("baseline")
+		row.Spear128 = get("SPEAR-128")
+		row.Spear256 = get("SPEAR-256")
+		if row.Err == nil && row.Base.IPC > 0 {
+			row.Norm128 = row.Spear128.IPC / row.Base.IPC
+			row.Norm256 = row.Spear256.IPC / row.Base.IPC
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

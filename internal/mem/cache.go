@@ -2,6 +2,17 @@ package mem
 
 import "fmt"
 
+// Hardware thread identities, shared by every per-thread statistics array
+// in the simulator (cache Accesses/Misses, Result counters). TidMain is
+// the architectural program; TidHelper is the speculative helper context
+// (the SPEAR p-thread, and the slot the stride prefetcher's traffic is
+// charged to).
+const (
+	TidMain   = 0
+	TidHelper = 1
+	NumTids   = 2
+)
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	Name       string
@@ -35,23 +46,34 @@ type cacheLine struct {
 	valid   bool
 	dirty   bool
 	lastUse uint64 // global LRU clock
+
+	// Prefetch-usefulness metadata (meaningful only while prefetched is
+	// set): the block was brought in by the helper thread, prefPC is the
+	// static PC of the load that filled it, touched records whether the
+	// main thread has accessed it since the fill, and harmed records that
+	// the fill's eviction victim was demand-missed while this block sat
+	// untouched.
+	prefetched bool
+	touched    bool
+	harmed     bool
+	prefPC     int
 }
 
-// CacheStats counts accesses per hardware thread (0 = main, 1 = p-thread).
+// CacheStats counts accesses per hardware thread (TidMain, TidHelper).
 type CacheStats struct {
-	Accesses [2]uint64
-	Misses   [2]uint64
+	Accesses [NumTids]uint64
+	Misses   [NumTids]uint64
 	Evicted  uint64
 	WriteBk  uint64
 }
 
 // MissRate returns the combined miss rate across threads.
 func (s CacheStats) MissRate() float64 {
-	a := s.Accesses[0] + s.Accesses[1]
+	a := s.Accesses[TidMain] + s.Accesses[TidHelper]
 	if a == 0 {
 		return 0
 	}
-	return float64(s.Misses[0]+s.Misses[1]) / float64(a)
+	return float64(s.Misses[TidMain]+s.Misses[TidHelper]) / float64(a)
 }
 
 // Cache is one set-associative, write-back, write-allocate, LRU cache level.
@@ -88,9 +110,28 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // BlockAddr returns the block-aligned address for addr.
 func (c *Cache) BlockAddr(addr uint32) uint32 { return addr &^ uint32(c.cfg.BlockSize-1) }
 
+// victimInfo describes the line displaced by a fill, for prefetch
+// accounting. Valid is false when the fill took an empty way.
+type victimInfo struct {
+	valid      bool
+	block      uint32 // block address of the evicted line
+	prefetched bool
+	touched    bool
+	harmed     bool
+	prefPC     int
+}
+
 // access looks up addr, allocating on miss. It reports whether the lookup
 // hit and whether a dirty block was written back.
 func (c *Cache) access(addr uint32, write bool, tid int) (hit, writeback bool) {
+	hit, writeback, _, _ = c.accessTrack(addr, write, tid)
+	return hit, writeback
+}
+
+// accessTrack is access plus the tracking hooks the prefetch-usefulness
+// accounting needs: the line that now holds the block and, on a miss that
+// displaced a valid line, a description of the victim.
+func (c *Cache) accessTrack(addr uint32, write bool, tid int) (hit, writeback bool, line *cacheLine, evicted victimInfo) {
 	c.clock++
 	set := (addr >> c.setShift) & c.setMask
 	tag := addr >> c.setShift >> uint(log2(c.cfg.Sets))
@@ -106,7 +147,7 @@ func (c *Cache) access(addr uint32, write bool, tid int) (hit, writeback bool) {
 			if write {
 				l.dirty = true
 			}
-			return true, false
+			return true, false, l, victimInfo{}
 		}
 		if !l.valid {
 			victim = i
@@ -124,9 +165,35 @@ func (c *Cache) access(addr uint32, write bool, tid int) (hit, writeback bool) {
 			c.Stats.WriteBk++
 			writeback = true
 		}
+		evicted = victimInfo{
+			valid:      true,
+			block:      c.lineBlockAddr(set, v.tag),
+			prefetched: v.prefetched,
+			touched:    v.touched,
+			harmed:     v.harmed,
+			prefPC:     v.prefPC,
+		}
 	}
 	*v = cacheLine{tag: tag, valid: true, dirty: write, lastUse: c.clock}
-	return false, writeback
+	return false, writeback, v, evicted
+}
+
+// lineBlockAddr reconstructs a line's block address from its set and tag.
+func (c *Cache) lineBlockAddr(set, tag uint32) uint32 {
+	return (tag<<uint(log2(c.cfg.Sets)) | set) << c.setShift
+}
+
+// lineFor returns the resident line holding addr, or nil.
+func (c *Cache) lineFor(addr uint32) *cacheLine {
+	set := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift >> uint(log2(c.cfg.Sets))
+	ways := c.lines[int(set)*c.cfg.Ways : int(set+1)*c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return &ways[i]
+		}
+	}
+	return nil
 }
 
 // Contains reports whether addr currently hits without disturbing LRU or
@@ -214,6 +281,7 @@ type Hierarchy struct {
 	L2         *Cache
 	trackFills bool
 	pending    map[uint32]uint64 // block address -> fill-ready time
+	pref       *prefTracker      // prefetch-usefulness accounting (timed only)
 }
 
 // NewHierarchy builds an untimed hierarchy (functional profiling use).
@@ -227,6 +295,7 @@ func NewTimedHierarchy(cfg HierarchyConfig) *Hierarchy {
 	h := NewHierarchy(cfg)
 	h.trackFills = true
 	h.pending = make(map[uint32]uint64)
+	h.pref = newPrefTracker()
 	return h
 }
 
@@ -244,21 +313,36 @@ func (h *Hierarchy) Access(addr uint32, write bool, tid int) AccessResult {
 // AccessAt performs a data access at the given cycle. On a timed hierarchy
 // it accounts for in-flight fills; on an untimed one `now` is ignored.
 func (h *Hierarchy) AccessAt(addr uint32, write bool, tid int, now uint64) AccessResult {
+	return h.AccessAtPC(addr, write, tid, now, -1)
+}
+
+// AccessAtPC is AccessAt with the static PC of the requesting load, which
+// the prefetch-usefulness accounting attributes helper-thread fills to.
+// Pass pc = -1 when the access is not a helper prefetch.
+func (h *Hierarchy) AccessAtPC(addr uint32, write bool, tid int, now uint64, pc int) AccessResult {
 	res := AccessResult{Latency: h.cfg.L1D.HitLatency}
 	block := h.L1D.BlockAddr(addr)
-	hit, _ := h.L1D.access(addr, write, tid)
+	hit, _, line, victim := h.L1D.accessTrack(addr, write, tid)
 	if hit {
+		inFlight := false
 		if h.trackFills {
 			if ready, ok := h.pending[block]; ok {
 				if ready > now {
 					// Merge with the outstanding fill.
 					res.Latency = int(ready - now)
+					inFlight = true
 				} else {
 					delete(h.pending, block)
 				}
 			}
 		}
+		if h.pref != nil {
+			h.pref.observeHit(line, tid, inFlight)
+		}
 		return res
+	}
+	if h.pref != nil {
+		h.pref.observeFill(h.L1D, block, line, victim, tid, pc)
 	}
 	res.L1Miss = true
 	res.Latency += h.cfg.L2.HitLatency
@@ -272,6 +356,16 @@ func (h *Hierarchy) AccessAt(addr uint32, write bool, tid int, now uint64) Acces
 		h.pending[block] = now + uint64(res.Latency)
 	}
 	return res
+}
+
+// FinalizePrefetch classifies the helper-thread fills still resident (and
+// untouched) at end of run and returns the completed accounting. Nil-safe
+// on untimed hierarchies, where it returns an empty value.
+func (h *Hierarchy) FinalizePrefetch() PrefetchStats {
+	if h.pref == nil {
+		return PrefetchStats{}
+	}
+	return h.pref.finalize(h.L1D)
 }
 
 // Flush invalidates both levels.

@@ -90,22 +90,22 @@ func TestCacheWritebackAccounting(t *testing.T) {
 
 func TestCachePerThreadStats(t *testing.T) {
 	c := smallCache()
-	c.access(0x000, false, 0)
-	c.access(0x000, false, 1)
-	c.access(0x040, false, 1)
-	if c.Stats.Accesses[0] != 1 || c.Stats.Misses[0] != 1 {
+	c.access(0x000, false, TidMain)
+	c.access(0x000, false, TidHelper)
+	c.access(0x040, false, TidHelper)
+	if c.Stats.Accesses[TidMain] != 1 || c.Stats.Misses[TidMain] != 1 {
 		t.Errorf("thread 0 stats = %+v", c.Stats)
 	}
-	if c.Stats.Accesses[1] != 2 || c.Stats.Misses[1] != 1 {
+	if c.Stats.Accesses[TidHelper] != 2 || c.Stats.Misses[TidHelper] != 1 {
 		t.Errorf("thread 1 stats = %+v", c.Stats)
 	}
 }
 
 func TestCacheFlushAndResetStats(t *testing.T) {
 	c := smallCache()
-	c.access(0x000, false, 0)
+	c.access(0x000, false, TidMain)
 	c.ResetStats()
-	if c.Stats.Accesses[0] != 0 {
+	if c.Stats.Accesses[TidMain] != 0 {
 		t.Error("ResetStats left counters")
 	}
 	if !c.Contains(0x000) {
@@ -196,13 +196,13 @@ func TestHierarchyLatencySweepKnobs(t *testing.T) {
 func TestHierarchySharedBetweenThreads(t *testing.T) {
 	h := NewHierarchy(DefaultHierarchy())
 	// Thread 1 (p-thread) access installs the block...
-	h.Access(0x8000, false, 1)
+	h.Access(0x8000, false, TidHelper)
 	// ...so thread 0 hits: this is the prefetching effect.
-	r := h.Access(0x8000, false, 0)
+	r := h.Access(0x8000, false, TidMain)
 	if r.L1Miss {
 		t.Error("main thread missed on a block the p-thread fetched")
 	}
-	if h.L1D.Stats.Misses[0] != 0 || h.L1D.Stats.Misses[1] != 1 {
+	if h.L1D.Stats.Misses[TidMain] != 0 || h.L1D.Stats.Misses[TidHelper] != 1 {
 		t.Errorf("per-thread miss split wrong: %+v", h.L1D.Stats)
 	}
 }

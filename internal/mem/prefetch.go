@@ -1,0 +1,185 @@
+package mem
+
+import "sort"
+
+// Prefetch-usefulness accounting (timed hierarchies only).
+//
+// Every L1D block brought in by the helper thread (the SPEAR p-thread, or
+// the stride prefetcher's traffic charged to the same slot) is tagged with
+// the static PC of the load that filled it and classified exactly once:
+//
+//   - timely:  the main thread's first access to the block hit after the
+//     fill had fully completed — the prefetch hid the whole miss.
+//   - late:    the main thread's first access merged with the still
+//     in-flight fill — it paid the residual latency, so the prefetch hid
+//     only part of the miss.
+//   - useless: the block was evicted (or was still resident at end of run)
+//     without the main thread ever touching it.
+//   - harmful: useless, and while it sat untouched the main thread
+//     demand-missed on the very block its fill evicted — the prefetch
+//     displaced live data for nothing.
+//
+// Timely + Late + Useless + Harmful == Fills, per PC and in total. Harm is
+// detected only while the displacing block is still resident untouched; a
+// victim miss after the prefetched block was itself evicted or used is not
+// charged (the LRU victim would likely have been evicted anyway by then).
+// Classification is L1D-granular: a prefetched block evicted from L1 but
+// still covered by L2 counts useless even though the L2 residency may
+// still help.
+
+// PrefetchClass is one classification bucket set.
+type PrefetchClass struct {
+	Fills   uint64 // blocks brought into the L1D by helper-thread loads
+	Timely  uint64
+	Late    uint64
+	Useless uint64
+	Harmful uint64
+}
+
+// Classified returns how many fills have been classified.
+func (c PrefetchClass) Classified() uint64 {
+	return c.Timely + c.Late + c.Useless + c.Harmful
+}
+
+// PrefetchPC is the per-fill-site breakdown row.
+type PrefetchPC struct {
+	PC int
+	PrefetchClass
+}
+
+// PrefetchStats is the completed accounting carried on cpu.Result.
+type PrefetchStats struct {
+	PrefetchClass
+	// PerPC is sorted by PC; row counts sum to the totals above.
+	PerPC []PrefetchPC `json:",omitempty"`
+}
+
+// victimCap bounds the pending-harm map; the oldest expectation is dropped
+// when a fill would exceed it.
+const victimCap = 8192
+
+type victimRec struct {
+	prefBlock uint32 // block installed by the fill that evicted the victim
+}
+
+type prefTracker struct {
+	perPC   map[int]*PrefetchClass
+	victims map[uint32]victimRec // victim block -> displacing prefetch block
+	order   []uint32             // FIFO of victim keys, bounds the map
+}
+
+func newPrefTracker() *prefTracker {
+	return &prefTracker{perPC: map[int]*PrefetchClass{}, victims: map[uint32]victimRec{}}
+}
+
+func (t *prefTracker) bucket(pc int) *PrefetchClass {
+	b := t.perPC[pc]
+	if b == nil {
+		b = &PrefetchClass{}
+		t.perPC[pc] = b
+	}
+	return b
+}
+
+// observeHit classifies a prefetched block on the main thread's first
+// touch: timely when the fill had completed, late when the access merged
+// with the in-flight fill.
+func (t *prefTracker) observeHit(line *cacheLine, tid int, inFlight bool) {
+	if tid != TidMain {
+		return
+	}
+	if line.prefetched && !line.touched {
+		b := t.bucket(line.prefPC)
+		if inFlight {
+			b.Late++
+		} else {
+			b.Timely++
+		}
+	}
+	line.touched = true
+}
+
+// observeFill accounts one L1D fill: it resolves pending-harm expectations
+// for the installed block, classifies an evicted untouched prefetch, tags
+// helper fills, and records their victims for harm detection.
+func (t *prefTracker) observeFill(l1 *Cache, block uint32, line *cacheLine, victim victimInfo, tid, pc int) {
+	if rec, ok := t.victims[block]; ok {
+		// The block some prefetch evicted is being refetched. A main-thread
+		// demand miss here is the harm the taxonomy charges: mark the
+		// displacing block if it still sits untouched. When this very miss
+		// evicts the displacing block (direct-mapped ping-pong), the line
+		// is already gone, so mark the captured victim instead. A helper
+		// refetch repairs the displacement before the main thread noticed.
+		if tid == TidMain {
+			if pl := l1.lineFor(rec.prefBlock); pl != nil && pl.prefetched && !pl.touched {
+				pl.harmed = true
+			} else if victim.valid && victim.block == rec.prefBlock {
+				victim.harmed = true
+			}
+		}
+		delete(t.victims, block)
+	}
+	if victim.valid && victim.prefetched && !victim.touched {
+		t.classifyEvicted(victim.prefPC, victim.harmed)
+	}
+	line.prefetched = tid == TidHelper
+	line.touched = tid == TidMain
+	line.harmed = false
+	line.prefPC = pc
+	if tid != TidHelper {
+		return
+	}
+	t.bucket(pc).Fills++
+	if victim.valid {
+		if len(t.victims) >= victimCap {
+			// Drop the oldest expectation (skipping keys already resolved).
+			for len(t.order) > 0 {
+				old := t.order[0]
+				t.order = t.order[1:]
+				if _, ok := t.victims[old]; ok {
+					delete(t.victims, old)
+					break
+				}
+			}
+		}
+		t.victims[victim.block] = victimRec{prefBlock: block}
+		t.order = append(t.order, victim.block)
+	}
+}
+
+func (t *prefTracker) classifyEvicted(pc int, harmed bool) {
+	b := t.bucket(pc)
+	if harmed {
+		b.Harmful++
+	} else {
+		b.Useless++
+	}
+}
+
+// finalize classifies the prefetched blocks still resident untouched and
+// assembles the stable per-PC report.
+func (t *prefTracker) finalize(l1 *Cache) PrefetchStats {
+	for i := range l1.lines {
+		l := &l1.lines[i]
+		if l.valid && l.prefetched && !l.touched {
+			t.classifyEvicted(l.prefPC, l.harmed)
+			l.touched = true // classify once even if finalize runs twice
+		}
+	}
+	var out PrefetchStats
+	pcs := make([]int, 0, len(t.perPC))
+	for pc := range t.perPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		b := *t.perPC[pc]
+		out.Fills += b.Fills
+		out.Timely += b.Timely
+		out.Late += b.Late
+		out.Useless += b.Useless
+		out.Harmful += b.Harmful
+		out.PerPC = append(out.PerPC, PrefetchPC{PC: pc, PrefetchClass: b})
+	}
+	return out
+}

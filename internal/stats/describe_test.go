@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{25, 2},
+		{50, 3},
+		{75, 4},
+		{100, 5},
+		{90, 4.6},
+		{-5, 1},
+		{120, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Error("Percentile modified its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h := Histogram(xs, 5)
+	if len(h) != 5 {
+		t.Fatalf("got %d buckets", len(h))
+	}
+	total := 0
+	for i, b := range h {
+		if b.Count == 0 {
+			t.Errorf("bucket %d empty", i)
+		}
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("buckets hold %d values, want %d", total, len(xs))
+	}
+	if h[0].Lo != 0 || h[len(h)-1].Hi != 10 {
+		t.Errorf("histogram spans [%v, %v], want [0, 10]", h[0].Lo, h[len(h)-1].Hi)
+	}
+	// The maximum lands in the last (right-closed) bucket.
+	if h[len(h)-1].Count < 1 {
+		t.Error("maximum value dropped")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if Histogram(nil, 4) != nil {
+		t.Error("empty input should produce no buckets")
+	}
+	if Histogram([]float64{1, 2}, 0) != nil {
+		t.Error("zero buckets should produce nil")
+	}
+	h := Histogram([]float64{3, 3, 3}, 4)
+	total := 0
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("flat series binned %d of 3 values", total)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline %q has %d cells, want 8", s, utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("sparkline %q should rise from min to max", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone series produced non-monotone sparkline %q", s)
+		}
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	if flat := Sparkline([]float64{2, 2, 2}); flat != "▁▁▁" {
+		t.Errorf("flat series rendered %q", flat)
+	}
+}
