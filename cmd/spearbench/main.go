@@ -7,16 +7,36 @@
 //	           [-kernels mcf,art,...] [-parallel N] [-seed N] [-v]
 //	spearbench -json [-kernels mcf,art] > report.json
 //	spearbench -csv  [-kernels mcf,art] > report.csv
+//	spearbench -json -journal sweep.journal > report.json
+//	spearbench -json -journal sweep.journal -resume > report.json
 //
 // With -json or -csv the bench instead sweeps every kernel across the five
 // machine models and emits one machine-readable report on stdout (schema
-// spear-report/1); render it with spearstat. -cpuprofile and -memprofile
-// write pprof profiles of the sweep itself.
+// spear-report/1, or /2 when reliability fields are present); render it
+// with spearstat. -cpuprofile and -memprofile write pprof profiles of the
+// sweep itself.
+//
+// Crash safety: -journal <dir> write-ahead-journals every run (fsync'd
+// JSONL), and -resume replays a previous journal — completed runs are
+// served from it, in-flight ones re-execute — so a sweep killed at any
+// point converges to the exact report an uninterrupted sweep produces.
+// SIGINT/SIGTERM cancel gracefully: in-flight simulations are preempted
+// within a bounded cycle count, the journal is flushed, and a partial
+// report marked "interrupted" is still written; a second signal forces an
+// immediate exit.
+//
+// Exit codes:
+//
+//	0  complete — every requested run finished (errors included as rows)
+//	3  partial  — the sweep was interrupted; resume it with -journal/-resume
+//	1  hard failure — bad flags, unknown kernel, I/O errors, ...
 //
 // Running everything takes a few minutes; use -kernels to restrict the set.
 // Sweeps run in partial-results mode: a failing (kernel, machine) pair
-// renders as a per-row error instead of aborting the experiment, and
-// kernels that fail to prepare are reported on stderr and skipped.
+// renders as a per-row error instead of aborting the experiment, kernels
+// that fail to prepare are reported on stderr and skipped, transiently
+// failing runs are retried with exponential backoff, and a run that fails
+// repeatedly trips a circuit breaker into a typed skip row.
 //
 // The faults experiment injects every fault class (corrupt slice masks,
 // bogus trigger PCs, truncated live-in sets, flipped opcode bits in the
@@ -26,35 +46,86 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
+	"spear/internal/cpu"
 	"spear/internal/harness"
 	"spear/internal/workloads"
 )
+
+// Exit codes (documented in the package comment and -h output).
+const (
+	exitOK      = 0
+	exitErr     = 1
+	exitPartial = 3
+)
+
+// errPartial marks a gracefully interrupted sweep: the partial report was
+// written and the process exits with code 3.
+var errPartial = errors.New("sweep interrupted; resume with -journal/-resume")
 
 func main() {
 	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, faults, motivation, hybrid, ablate, or all")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all fifteen)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
-	seed := flag.Int64("seed", 1, "fault-injection seed (faults experiment)")
+	seed := flag.Int64("seed", 1, "fault-injection seed (faults experiment); also folded into journal run keys")
 	verbose := flag.Bool("v", false, "log progress to stderr")
-	asJSON := flag.Bool("json", false, "sweep all machines and write a spear-report/1 JSON report to stdout")
+	asJSON := flag.Bool("json", false, "sweep all machines and write a spear-report JSON report to stdout")
 	asCSV := flag.Bool("csv", false, "sweep all machines and write a flat CSV report to stdout")
+	journalDir := flag.String("journal", "", "write-ahead journal directory for crash-safe sweeps (with -json/-csv)")
+	resume := flag.Bool("resume", false, "resume from the journal in -journal: replay completed runs, re-execute in-flight ones")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: spearbench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), `
+Exit codes:
+  0  complete — every requested run finished (per-run errors included as rows)
+  3  partial  — interrupted by SIGINT/SIGTERM; resume with -journal <dir> -resume
+  1  hard failure
+
+A first SIGINT/SIGTERM cancels gracefully (journal flushed, partial report
+written); a second forces an immediate exit.
+`)
+	}
 	flag.Parse()
 
-	if err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(*experiment, *kernels, *parallel, *seed, *verbose, *asJSON, *asCSV)
-	}); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "spearbench: interrupt — cancelling in-flight runs and flushing the journal (signal again to force exit)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "spearbench: forced exit")
+		os.Exit(exitErr)
+	}()
+
+	err := profiled(*cpuProfile, *memProfile, func() error {
+		return run(ctx, *experiment, *kernels, *parallel, *seed, *verbose, *asJSON, *asCSV, *journalDir, *resume)
+	})
+	switch {
+	case err == nil:
+		os.Exit(exitOK)
+	case errors.Is(err, errPartial), errors.Is(err, cpu.ErrInterrupted), errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "spearbench:", err)
-		os.Exit(1)
+		os.Exit(exitPartial)
+	default:
+		fmt.Fprintln(os.Stderr, "spearbench:", err)
+		os.Exit(exitErr)
 	}
 }
 
@@ -88,9 +159,10 @@ func profiled(cpuProfile, memProfile string, f func() error) error {
 	return f()
 }
 
-func run(experiment, kernels string, parallel int, seed int64, verbose, asJSON, asCSV bool) error {
+func run(ctx context.Context, experiment, kernels string, parallel int, seed int64, verbose, asJSON, asCSV bool, journalDir string, resume bool) error {
 	opts := harness.DefaultOptions()
 	opts.Parallel = parallel
+	opts.Seed = seed
 	if verbose {
 		opts.Log = os.Stderr
 	}
@@ -103,7 +175,13 @@ func run(experiment, kernels string, parallel int, seed int64, verbose, asJSON, 
 			opts.Kernels = append(opts.Kernels, name)
 		}
 	}
-	suite, err := harness.NewSuite(opts)
+	if resume && journalDir == "" {
+		return fmt.Errorf("-resume requires -journal <dir>")
+	}
+	if journalDir != "" && !asJSON && !asCSV {
+		return fmt.Errorf("-journal applies to sweep mode; add -json or -csv")
+	}
+	suite, err := harness.NewSuiteContext(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -116,11 +194,35 @@ func run(experiment, kernels string, parallel int, seed int64, verbose, asJSON, 
 		if asJSON && asCSV {
 			return fmt.Errorf("-json and -csv are mutually exclusive")
 		}
-		rep := suite.SweepReport("sweep", harness.StandardConfigs())
-		if asJSON {
-			return rep.WriteJSON(out)
+		var sj *harness.SweepJournal
+		if journalDir != "" {
+			sj, err = harness.OpenSweepJournal(journalDir, resume)
+			if err != nil {
+				return err
+			}
+			defer sj.Close()
+			if resume {
+				replayed, torn := sj.Replayed()
+				fmt.Fprintf(os.Stderr, "spearbench: resuming: %d completed runs replayed from the journal", replayed)
+				if torn {
+					fmt.Fprint(os.Stderr, " (torn final record dropped; its run re-executes)")
+				}
+				fmt.Fprintln(os.Stderr)
+			}
 		}
-		return rep.WriteCSV(out)
+		rep := suite.SweepReportContext(ctx, "sweep", harness.StandardConfigs(), sj)
+		if asJSON {
+			err = rep.WriteJSON(out)
+		} else {
+			err = rep.WriteCSV(out)
+		}
+		if err != nil {
+			return err
+		}
+		if rep.Interrupted {
+			return errPartial
+		}
+		return nil
 	}
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }

@@ -23,16 +23,21 @@
 //
 // Exit codes: 0 success, 1 generic error, 2 validation failure or
 // pipeline/oracle divergence, 3 deadlock (MaxCycles exhausted; a pipeline
-// state dump is printed to stderr).
+// state dump is printed to stderr), 4 interrupted (SIGINT/SIGTERM; the
+// simulation is preempted within a bounded cycle count — a second signal
+// forces an immediate exit).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"spear/internal/cpu"
 	"spear/internal/harness"
@@ -44,9 +49,10 @@ import (
 )
 
 const (
-	exitErr        = 1
-	exitValidation = 2
-	exitDeadlock   = 3
+	exitErr         = 1
+	exitValidation  = 2
+	exitDeadlock    = 3
+	exitInterrupted = 4
 )
 
 // options collects the command-line knobs that shape one simulation.
@@ -81,10 +87,25 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := profiled(*cpuProfile, *memProfile, func() error { return run(o) }); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "spearsim: interrupt — preempting the simulation (signal again to force exit)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "spearsim: forced exit")
+		os.Exit(exitErr)
+	}()
+
+	if err := profiled(*cpuProfile, *memProfile, func() error { return run(ctx, o) }); err != nil {
 		fmt.Fprintln(os.Stderr, "spearsim:", err)
 		var dl *cpu.DeadlockError
 		switch {
+		case errors.Is(err, context.Canceled):
+			os.Exit(exitInterrupted)
 		case errors.As(err, &dl):
 			fmt.Fprint(os.Stderr, "\npipeline state at abort:\n"+dl.Dump)
 			os.Exit(exitDeadlock)
@@ -141,7 +162,7 @@ func machineConfig(name string) (cpu.Config, error) {
 	return cpu.Config{}, fmt.Errorf("unknown machine %q", name)
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	if (o.bin == "") == (o.workload == "") {
 		return fmt.Errorf("exactly one of -bin or -workload is required")
 	}
@@ -207,7 +228,7 @@ func run(o options) error {
 		return runInjected(p, cfg, harness.FaultClass(o.inject), o.seed)
 	}
 
-	res, err := cpu.Run(p, cfg)
+	res, err := cpu.RunContext(ctx, p, cfg)
 	if err != nil {
 		return err
 	}

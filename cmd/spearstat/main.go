@@ -96,7 +96,11 @@ func renderSummary(rep *harness.Report) string {
 		}
 		prev = row.Kernel
 		if row.Result == nil {
-			t.AddSpanRow(row.Kernel, "ERROR: "+row.Error)
+			if row.Skipped != "" {
+				t.AddSpanRow(row.Kernel, "SKIPPED: "+row.Skipped)
+			} else {
+				t.AddSpanRow(row.Kernel, "ERROR: "+row.Error)
+			}
 			continue
 		}
 		r := row.Result
@@ -107,6 +111,9 @@ func renderSummary(rep *harness.Report) string {
 	title := "Sweep summary"
 	if rep.Experiment != "" {
 		title += " (" + rep.Experiment + ")"
+	}
+	if rep.Interrupted {
+		title += " — PARTIAL: sweep interrupted; resume with spearbench -journal <dir> -resume"
 	}
 	return title + "\n" + t.String()
 }

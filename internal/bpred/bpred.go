@@ -127,10 +127,3 @@ func (p *Predictor) PopRAS() (int, bool) {
 
 // ResetStats clears outcome counters while keeping learned state.
 func (p *Predictor) ResetStats() { p.Stats = Stats{} }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// longLoop is a program whose simulation runs for millions of cycles —
+// long enough that only in-loop cancellation can stop it early.
+const longLoop = `
+main:   li r1, 0
+        li r2, 2000000
+loop:   addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`
+
+func TestRunContextPreCancelled(t *testing.T) {
+	p := assemble(t, longLoop)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, p, fastConfig())
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to also match context.Canceled", err)
+	}
+	// The first poll happens at cycle 0: a cancelled context never
+	// simulates a single cycle.
+	if !strings.Contains(err.Error(), "at cycle 0 ") {
+		t.Errorf("err = %v, want abort at cycle 0", err)
+	}
+}
+
+// TestRunContextCancelPreemptsRunningSim cancels the context from inside
+// the simulation (via the Interrupt poll, which fires every 8K cycles
+// without requesting an abort itself) and asserts the context check
+// preempts the run within its 64K-cycle polling bound instead of letting
+// the loop run to completion.
+func TestRunContextCancelPreemptsRunningSim(t *testing.T) {
+	p := assemble(t, longLoop)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastConfig()
+	polls := 0
+	cfg.Interrupt = func() bool {
+		polls++
+		if polls == 4 { // ~24K cycles in: the sim is mid-flight
+			cancel()
+		}
+		return false
+	}
+	_, err := RunContext(ctx, p, cfg)
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrInterrupted wrapping context.Canceled", err)
+	}
+	// Cancellation at ~24K cycles must be seen by the 64K-cycle poll, so
+	// the run dies at cycle 65536 — far before the loop's natural end.
+	if !strings.Contains(err.Error(), "at cycle 65536 ") {
+		t.Errorf("err = %v, want abort at the first 64K-cycle poll after cancellation", err)
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	p := assemble(t, `
+main:   li r1, 1
+        li r2, 2
+        add r3, r1, r2
+        halt
+`)
+	res, err := RunContext(context.Background(), p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainCommitted != 4 {
+		t.Errorf("committed %d, want 4", res.MainCommitted)
+	}
+}

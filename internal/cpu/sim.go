@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -183,6 +184,7 @@ type session struct {
 
 type sim struct {
 	cfg    Config
+	ctx    context.Context
 	prog   *prog.Program
 	oracle *emu.Machine
 	hier   *mem.Hierarchy
@@ -268,10 +270,21 @@ type sim struct {
 // emulator; Run reports an error if the pipeline fails to retire exactly
 // the instructions the emulator retires.
 func Run(p *prog.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// inside the cycle loop (every 64K cycles, alongside the coarser
+// Config.Interrupt hook), so cancellation preempts even a runaway
+// simulation within a bounded cycle count rather than waiting for a
+// wall-clock watchdog. The returned error wraps both ErrInterrupted and
+// the context's error, so errors.Is matches either.
+func RunContext(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
 	s, err := newSim(p, cfg)
 	if err != nil {
 		return nil, err
 	}
+	s.ctx = ctx
 	err = s.runLoop()
 	// Deliver buffered telemetry even when the run aborted: a partial
 	// event stream is exactly what a deadlock diagnosis needs.
@@ -395,6 +408,12 @@ func (s *sim) runLoop() error {
 		if s.cfg.Interrupt != nil && s.cycle&0x1FFF == 0 && s.cfg.Interrupt() {
 			return fmt.Errorf("%w at cycle %d (%d/%d instructions committed)",
 				ErrInterrupted, s.cycle, s.res.MainCommitted, s.oracle.Count)
+		}
+		if s.ctx != nil && s.cycle&0xFFFF == 0 {
+			if cerr := s.ctx.Err(); cerr != nil {
+				return fmt.Errorf("%w: %w at cycle %d (%d/%d instructions committed)",
+					ErrInterrupted, cerr, s.cycle, s.res.MainCommitted, s.oracle.Count)
+			}
 		}
 		s.stepCycle()
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -202,7 +203,7 @@ func VerifyContainment(inj *Injection, cfg cpu.Config, baseHash, baseCount uint6
 	if len(inj.Override) > 0 {
 		cfg.PTextOverride = inj.Override
 	}
-	res, err := runProtected(inj.Prog, cfg, 0)
+	res, err := runProtected(context.Background(), inj.Prog, cfg, 0)
 	if err != nil {
 		out.Err = err
 		return out

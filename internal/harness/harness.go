@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,11 +36,22 @@ type Options struct {
 	// exceeds it is interrupted and reported as an error instead of
 	// wedging the whole sweep. 0 disables the watchdog.
 	RunTimeout time.Duration
+	// Retry governs transient-failure retries and the per-run circuit
+	// breaker (see RetryPolicy).
+	Retry RetryPolicy
+	// Seed folds into each run's journal key so that sweeps with
+	// different seeds never collide in a shared journal directory.
+	Seed int64
+	// FaultHook, when non-nil, is called before every run attempt; a
+	// non-nil return fails that attempt with a transient injected error.
+	// It exists to exercise the retry/breaker/resume machinery in tests
+	// and fault drills and is never set in normal operation.
+	FaultHook func(kernel, config string, attempt int) error
 }
 
 // DefaultOptions returns the paper's configuration.
 func DefaultOptions() Options {
-	opts := Options{Compiler: spearcc.DefaultOptions(), Parallel: 4, RunTimeout: 5 * time.Minute}
+	opts := Options{Compiler: spearcc.DefaultOptions(), Parallel: 4, RunTimeout: 5 * time.Minute, Retry: DefaultRetryPolicy(), Seed: 1}
 	// The kernels are scaled down from the paper's hundreds of millions
 	// of instructions; scale the profiling knobs accordingly. The miss
 	// threshold separates truly delinquent loads from cold-miss noise
@@ -113,29 +125,43 @@ type Suite struct {
 	// name); the suite carries on with the rest.
 	Failed map[string]error
 
+	// ctx is the suite-wide cancellation context installed by
+	// NewSuiteContext; Run and RunConfigs honour it so that every
+	// experiment built on the suite inherits graceful cancellation.
+	ctx context.Context
+
 	mu    sync.Mutex
 	cache map[string]runOutcome
 }
 
 // runOutcome memoizes one simulation's result or error, so a failing
 // (kernel, config) pair is re-reported — not re-simulated — by every
-// experiment that shares the run.
+// experiment that shares the run. attempts records how many attempts the
+// run consumed under the retry policy.
 type runOutcome struct {
-	res *cpu.Result
-	err error
+	res      *cpu.Result
+	err      error
+	attempts int
 }
 
 // NewSuite prepares the selected kernels. Preparation failures are
 // recorded in Suite.Failed rather than aborting the suite; NewSuite errors
 // only when a kernel name is unknown or no kernel could be prepared.
 func NewSuite(opts Options) (*Suite, error) {
+	return NewSuiteContext(context.Background(), opts)
+}
+
+// NewSuiteContext is NewSuite with cancellation: kernels not yet being
+// prepared when ctx is cancelled are skipped, and a cancelled context
+// fails the suite rather than returning a silently partial one.
+func NewSuiteContext(ctx context.Context, opts Options) (*Suite, error) {
 	names := opts.Kernels
 	if len(names) == 0 {
 		for _, k := range workloads.All() {
 			names = append(names, k.Name)
 		}
 	}
-	s := &Suite{Opts: opts, cache: map[string]runOutcome{}, Failed: map[string]error{}}
+	s := &Suite{Opts: opts, ctx: ctx, cache: map[string]runOutcome{}, Failed: map[string]error{}}
 	type slot struct {
 		p   *Prepared
 		err error
@@ -153,12 +179,19 @@ func NewSuite(opts Options) (*Suite, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				results[i] = slot{err: err}
+				return
+			}
 			opts.logf("prepare %s", k.Name)
 			p, err := prepareProtected(k, opts)
 			results[i] = slot{p: p, err: err}
 		}(i, *k)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: suite preparation interrupted: %w", err)
+	}
 	for i, r := range results {
 		if r.err != nil {
 			opts.logf("prepare %s FAILED: %v", names[i], r.err)
@@ -176,14 +209,14 @@ func NewSuite(opts Options) (*Suite, error) {
 	return s, nil
 }
 
-// runProtected runs one simulation with panic isolation and the suite's
-// wall-clock watchdog: a panicking or wedged run becomes an ordinary
-// error on this (kernel, config) pair instead of killing the process or
-// hanging the sweep.
-func runProtected(p *prog.Program, cfg cpu.Config, timeout time.Duration) (res *cpu.Result, err error) {
+// runProtected runs one simulation with panic isolation, cooperative
+// cancellation, and the suite's wall-clock watchdog: a panicking or
+// wedged run becomes an ordinary error on this (kernel, config) pair
+// instead of killing the process or hanging the sweep.
+func runProtected(ctx context.Context, p *prog.Program, cfg cpu.Config, timeout time.Duration) (res *cpu.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("panic in simulation: %v", r)
+			res, err = nil, &panicError{val: r}
 		}
 	}()
 	if timeout > 0 {
@@ -193,31 +226,119 @@ func runProtected(p *prog.Program, cfg cpu.Config, timeout time.Duration) (res *
 			return (prev != nil && prev()) || !time.Now().Before(deadline)
 		}
 	}
-	res, err = cpu.Run(p, cfg)
-	if err != nil && timeout > 0 && errors.Is(err, cpu.ErrInterrupted) {
+	res, err = cpu.RunContext(ctx, p, cfg)
+	if err != nil && timeout > 0 && errors.Is(err, cpu.ErrInterrupted) && ctx.Err() == nil {
 		err = fmt.Errorf("watchdog: exceeded %v: %w", timeout, err)
 	}
 	return res, err
 }
 
+// memoKey is the suite memoization key for one (kernel, config) run.
+func memoKey(p *Prepared, cfg cpu.Config) string {
+	return fmt.Sprintf("%s|%s|%d|%d", p.Kernel.Name, cfg.Name, cfg.Hierarchy.L2.HitLatency, cfg.Hierarchy.MemLatency)
+}
+
 // Run simulates one prepared kernel under cfg, memoized (errors included).
 func (s *Suite) Run(p *Prepared, cfg cpu.Config) (*cpu.Result, error) {
-	key := fmt.Sprintf("%s|%s|%d|%d", p.Kernel.Name, cfg.Name, cfg.Hierarchy.L2.HitLatency, cfg.Hierarchy.MemLatency)
+	return s.RunContext(s.suiteCtx(), p, cfg)
+}
+
+// RunContext is Run with explicit cancellation. Transient failures are
+// retried under Options.Retry; a run whose breaker trips returns a
+// *SkipError. The outcome — error included — is memoized so every
+// experiment sharing the run re-reports rather than re-simulates it.
+func (s *Suite) RunContext(ctx context.Context, p *Prepared, cfg cpu.Config) (*cpu.Result, error) {
+	o := s.runOutcomeFor(ctx, p, cfg)
+	return o.res, o.err
+}
+
+// runOutcomeFor memoizes the retried run, keeping the attempt count for
+// report rows. Interrupted outcomes are NOT memoized: a cancelled run
+// must re-execute on the next call (or the resumed sweep), not poison
+// the cache.
+func (s *Suite) runOutcomeFor(ctx context.Context, p *Prepared, cfg cpu.Config) runOutcome {
+	key := memoKey(p, cfg)
 	s.mu.Lock()
 	if o, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		return o.res, o.err
+		return o
 	}
 	s.mu.Unlock()
 	s.Opts.logf("run %s on %s (mem %d)", p.Kernel.Name, cfg.Name, cfg.Hierarchy.MemLatency)
-	r, err := runProtected(p.Ref, cfg, s.Opts.RunTimeout)
-	if err != nil {
-		err = fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, err)
+	o := s.runWithRetry(ctx, p, cfg)
+	if o.err != nil {
+		if _, skipped := o.err.(*SkipError); !skipped {
+			o.err = fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, o.err)
+		}
+	}
+	if interrupted(o.err) {
+		return o
 	}
 	s.mu.Lock()
-	s.cache[key] = runOutcome{res: r, err: err}
+	s.cache[key] = o
 	s.mu.Unlock()
-	return r, err
+	return o
+}
+
+// runWithRetry executes one run under the retry policy: transient
+// failures back off exponentially (with deterministic jitter) and retry
+// up to MaxAttempts; BreakerThreshold consecutive failures trip the
+// circuit breaker into a typed *SkipError.
+func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) runOutcome {
+	pol := s.Opts.Retry.normalized()
+	var consecutive int
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, err), attempts: attempt - 1}
+		}
+		var res *cpu.Result
+		var err error
+		if hook := s.Opts.FaultHook; hook != nil {
+			if herr := hook(p.Kernel.Name, cfg.Name, attempt); herr != nil {
+				err = &hookError{err: herr}
+			}
+		}
+		if err == nil {
+			res, err = runProtected(ctx, p.Ref, cfg, s.Opts.RunTimeout)
+		}
+		if err == nil {
+			return runOutcome{res: res, attempts: attempt}
+		}
+		if interrupted(err) {
+			return runOutcome{err: err, attempts: attempt}
+		}
+		consecutive++
+		if pol.BreakerThreshold > 0 && consecutive >= pol.BreakerThreshold {
+			s.Opts.logf("breaker %s on %s: tripped after %d consecutive failures", p.Kernel.Name, cfg.Name, consecutive)
+			return runOutcome{
+				err:      &SkipError{Kernel: p.Kernel.Name, Config: cfg.Name, Consecutive: consecutive, Last: err},
+				attempts: attempt,
+			}
+		}
+		if !transientError(err) || attempt >= pol.MaxAttempts {
+			return runOutcome{err: err, attempts: attempt}
+		}
+		d := pol.backoffFor(memoKey(p, cfg), attempt)
+		s.Opts.logf("retry %s on %s: attempt %d failed (%v); backing off %v", p.Kernel.Name, cfg.Name, attempt, err, d)
+		if serr := sleepBackoff(ctx, d); serr != nil {
+			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, serr), attempts: attempt}
+		}
+	}
+}
+
+// suiteCtx returns the suite-wide context (Background when the suite was
+// built without one).
+func (s *Suite) suiteCtx() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// interrupted reports whether the error is a cooperative-cancellation
+// abort (as opposed to a run failure worth recording).
+func interrupted(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // RunConfigs simulates p under several configurations concurrently and
@@ -225,6 +346,11 @@ func (s *Suite) Run(p *Prepared, cfg cpu.Config) (*cpu.Result, error) {
 // every configuration that did complete (partial results), alongside the
 // joined error.
 func (s *Suite) RunConfigs(p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Result, error) {
+	return s.RunConfigsContext(s.suiteCtx(), p, cfgs)
+}
+
+// RunConfigsContext is RunConfigs with explicit cancellation.
+func (s *Suite) RunConfigsContext(ctx context.Context, p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Result, error) {
 	out := make(map[string]*cpu.Result, len(cfgs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -236,7 +362,7 @@ func (s *Suite) RunConfigs(p *Prepared, cfgs []cpu.Config) (map[string]*cpu.Resu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := s.Run(p, cfg)
+			r, err := s.RunContext(ctx, p, cfg)
 			if err != nil {
 				errs[i] = err
 				return
@@ -260,11 +386,4 @@ func StandardConfigs() []cpu.Config {
 		cpu.SPEARConfig(128, true),
 		cpu.SPEARConfig(256, true),
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 
 	"spear/internal/cpu"
@@ -18,27 +17,46 @@ import (
 // exact same bits), so downstream tooling (spearstat) reproduces the
 // harness's text tables digit for digit from the JSON alone.
 
-// ReportSchema identifies the report wire format; bump it on breaking
-// changes so readers can refuse files they do not understand.
-const ReportSchema = "spear-report/1"
+// ReportSchema identifies the base report wire format; bump it on
+// breaking changes so readers can refuse files they do not understand.
+// ReportSchemaV2 extends v1 with the reliability fields (interrupted
+// sweeps, typed skips, retry attempt counts). Writers negotiate down: a
+// complete sweep that uses none of the v2 fields is tagged — and is
+// byte-identical to — a v1 report, so resuming an interrupted sweep
+// converges to exactly the spear-report/1 bytes an uninterrupted sweep
+// would have produced.
+const (
+	ReportSchema   = "spear-report/1"
+	ReportSchemaV2 = "spear-report/2"
+)
 
 // Report is the machine-readable result of one sweep.
 type Report struct {
-	Schema     string      `json:"schema"`
-	Experiment string      `json:"experiment,omitempty"`
-	Machines   []string    `json:"machines"`
-	Kernels    []string    `json:"kernels"`
-	Rows       []ReportRow `json:"rows"`
+	Schema     string   `json:"schema"`
+	Experiment string   `json:"experiment,omitempty"`
+	Machines   []string `json:"machines"`
+	Kernels    []string `json:"kernels"`
+	// Interrupted marks a partial report: the sweep was cancelled
+	// (SIGINT/SIGTERM) before every run finished. Rows not reached carry
+	// a "skipped" marker; resuming with the journal completes them.
+	Interrupted bool        `json:"interrupted,omitempty"`
+	Rows        []ReportRow `json:"rows"`
 }
 
-// ReportRow is one (kernel, machine) outcome. Exactly one of Result and
-// Error is set; a kernel that failed preparation has a single row with an
-// empty Config.
+// ReportRow is one (kernel, machine) outcome. Exactly one of Result,
+// Error, and Skipped is set; a kernel that failed preparation has a
+// single row with an empty Config.
 type ReportRow struct {
-	Kernel string      `json:"kernel"`
-	Config string      `json:"config,omitempty"`
-	Error  string      `json:"error,omitempty"`
-	Result *cpu.Result `json:"result,omitempty"`
+	Kernel string `json:"kernel"`
+	Config string `json:"config,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Skipped is the typed skip reason: the circuit breaker tripped, or
+	// the sweep was interrupted before this run started.
+	Skipped string `json:"skipped,omitempty"`
+	// Attempts is how many attempts the run consumed; recorded only when
+	// retries happened (values > 1), so retry-free reports stay v1.
+	Attempts int         `json:"attempts,omitempty"`
+	Result   *cpu.Result `json:"result,omitempty"`
 }
 
 // SweepReport simulates every prepared kernel under every configuration
@@ -46,32 +64,21 @@ type ReportRow struct {
 // Per-pair failures and preparation failures become error rows; the sweep
 // itself never aborts.
 func (s *Suite) SweepReport(experiment string, cfgs []cpu.Config) *Report {
-	rep := &Report{Schema: ReportSchema, Experiment: experiment}
-	for _, cfg := range cfgs {
-		rep.Machines = append(rep.Machines, cfg.Name)
+	return s.SweepReportContext(s.suiteCtx(), experiment, cfgs, nil)
+}
+
+// schemaTag returns the lowest schema version that can represent the
+// report: v1 unless a reliability field is in use.
+func (r *Report) schemaTag() string {
+	if r.Interrupted {
+		return ReportSchemaV2
 	}
-	for _, p := range s.Prepared {
-		rep.Kernels = append(rep.Kernels, p.Kernel.Name)
-		for _, cfg := range cfgs {
-			row := ReportRow{Kernel: p.Kernel.Name, Config: cfg.Name}
-			if res, err := s.Run(p, cfg); err != nil {
-				row.Error = err.Error()
-			} else {
-				row.Result = res
-			}
-			rep.Rows = append(rep.Rows, row)
+	for i := range r.Rows {
+		if r.Rows[i].Skipped != "" || r.Rows[i].Attempts > 1 {
+			return ReportSchemaV2
 		}
 	}
-	failed := make([]string, 0, len(s.Failed))
-	for name := range s.Failed {
-		failed = append(failed, name)
-	}
-	sort.Strings(failed)
-	for _, name := range failed {
-		rep.Kernels = append(rep.Kernels, name)
-		rep.Rows = append(rep.Rows, ReportRow{Kernel: name, Error: s.Failed[name].Error()})
-	}
-	return rep
+	return ReportSchema
 }
 
 // Lookup returns the row for (kernel, config), or nil. A preparation
@@ -97,21 +104,26 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// ReadReport decodes a JSON report and checks its schema tag.
+// ErrReportSchema marks a report whose schema tag this reader does not
+// understand.
+var ErrReportSchema = errors.New("harness: unsupported report schema")
+
+// ReadReport decodes a JSON report and checks its schema tag; both the
+// v1 format and the v2 reliability extension are accepted.
 func ReadReport(rd io.Reader) (*Report, error) {
 	var rep Report
 	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("harness: decoding report: %w", err)
 	}
-	if rep.Schema != ReportSchema {
-		return nil, fmt.Errorf("harness: report schema %q, want %q", rep.Schema, ReportSchema)
+	if rep.Schema != ReportSchema && rep.Schema != ReportSchemaV2 {
+		return nil, fmt.Errorf("%w: %q (want %q or %q)", ErrReportSchema, rep.Schema, ReportSchema, ReportSchemaV2)
 	}
 	return &rep, nil
 }
 
 // csvHeader lists the flat per-row columns of the CSV form.
 var csvHeader = []string{
-	"kernel", "config", "error",
+	"kernel", "config", "error", "skipped", "attempts",
 	"cycles", "ipc", "main_committed", "p_committed",
 	"avg_ifq_occupancy", "branch_ratio", "ipb",
 	"l1d_misses_main", "l1d_misses_helper", "l2_miss_rate",
@@ -130,7 +142,11 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, row := range r.Rows {
-		rec := []string{row.Kernel, row.Config, row.Error}
+		attempts := ""
+		if row.Attempts > 1 {
+			attempts = strconv.Itoa(row.Attempts)
+		}
+		rec := []string{row.Kernel, row.Config, row.Error, row.Skipped, attempts}
 		if res := row.Result; res != nil {
 			rec = append(rec,
 				u(res.Cycles), f(res.IPC), u(res.MainCommitted), u(res.PCommitted),
@@ -142,7 +158,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 				u(res.Prefetch.Useless), u(res.Prefetch.Harmful),
 			)
 		} else {
-			rec = append(rec, make([]string, len(csvHeader)-3)...)
+			rec = append(rec, make([]string, len(csvHeader)-len(rec))...)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -166,13 +182,17 @@ func Fig6FromReport(rep *Report) ([]Fig6Row, error) {
 		get := func(config string) *cpu.Result {
 			r := rep.Lookup(name, config)
 			switch {
-			case r == nil:
+			case r == nil || (r.Result == nil && r.Error == "" && r.Skipped == ""):
 				if row.Err == nil {
 					row.Err = fmt.Errorf("harness: %s: missing configuration results", name)
 				}
 			case r.Error != "":
 				if row.Err == nil {
 					row.Err = errors.New(r.Error)
+				}
+			case r.Skipped != "":
+				if row.Err == nil {
+					row.Err = fmt.Errorf("harness: %s on %s: skipped: %s", name, config, r.Skipped)
 				}
 			default:
 				return r.Result

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"spear/internal/cpu"
+)
+
+// RetryPolicy governs how the suite treats a failing simulation run:
+// transient failures (watchdog timeouts, panics, injected fault-harness
+// errors) are retried with exponential backoff plus deterministic
+// jitter, and a per-(kernel, config) circuit breaker trips after
+// BreakerThreshold consecutive failures, converting the run into a typed
+// skip instead of hanging or aborting the sweep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per run, the first
+	// included. Values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// BreakerThreshold is how many consecutive failures trip the circuit
+	// breaker for this (kernel, config) pair. 0 disables the breaker.
+	BreakerThreshold int
+}
+
+// DefaultRetryPolicy returns the sweep default: three attempts, 250ms
+// initial backoff, and a breaker that trips on the third consecutive
+// failure.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, Backoff: 250 * time.Millisecond, BackoffMax: 10 * time.Second, BreakerThreshold: 3}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 250 * time.Millisecond
+	}
+	if p.BackoffMax < p.Backoff {
+		p.BackoffMax = p.Backoff
+	}
+	return p
+}
+
+// backoffFor returns the pre-retry delay after the given failed attempt
+// (1-based): exponential in the attempt number with ±25% jitter derived
+// deterministically from the run key, so concurrent retries decorrelate
+// while identical sweeps remain reproducible.
+func (p RetryPolicy) backoffFor(key string, attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	frac := float64(h.Sum64()%1024) / 1024 // [0,1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// SkipError is the typed outcome of a tripped circuit breaker: the run
+// was abandoned after Consecutive consecutive failures and appears in
+// the report as a skip rather than poisoning or aborting the sweep.
+type SkipError struct {
+	Kernel      string
+	Config      string
+	Consecutive int
+	Last        error // the final failure that tripped the breaker
+}
+
+func (e *SkipError) Error() string {
+	return fmt.Sprintf("harness: %s on %s: circuit breaker tripped after %d consecutive failures (last: %v)",
+		e.Kernel, e.Config, e.Consecutive, e.Last)
+}
+
+func (e *SkipError) Unwrap() error { return e.Last }
+
+// Reason is the short typed skip string recorded in reports and journal
+// records.
+func (e *SkipError) Reason() string {
+	return fmt.Sprintf("circuit breaker tripped after %d consecutive failures", e.Consecutive)
+}
+
+// panicError is a simulation panic converted to an ordinary error by
+// runProtected; it is one of the transient failure classes.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic in simulation: %v", e.val) }
+
+// hookError wraps a failure injected through Options.FaultHook — the
+// resilience-testing hook — so the retry layer classifies it as
+// transient.
+type hookError struct{ err error }
+
+func (e *hookError) Error() string { return fmt.Sprintf("injected fault: %v", e.err) }
+func (e *hookError) Unwrap() error { return e.err }
+
+// transientError reports whether a run failure is worth retrying:
+// wall-clock watchdog timeouts, simulation panics, and injected
+// fault-harness errors are; deterministic failures (validation,
+// divergence, deadlock) and cooperative cancellation are not.
+func transientError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *panicError
+	var he *hookError
+	return errors.As(err, &pe) || errors.As(err, &he) || errors.Is(err, cpu.ErrInterrupted)
+}
+
+// sleepBackoff waits d or until the context is cancelled.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

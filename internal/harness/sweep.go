@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"spear/internal/cpu"
+	"spear/internal/journal"
+)
+
+// Crash-safe sweeps: SweepReportContext couples the sweep to a
+// write-ahead run journal. Each (kernel, compiler options, machine
+// config, seed) is keyed by a deterministic content hash; a "started"
+// record is fsync'd before the run and a terminal record — done with the
+// serialized result, failed with the error, skipped with the breaker
+// reason — after it. Because cpu.Result survives its JSON round trip
+// bit-exactly, a resumed sweep replays completed runs from the journal
+// and converges to a report byte-identical to an uninterrupted sweep's.
+
+// SkipInterrupted is the typed skip reason stamped on rows whose runs
+// had not finished when the sweep was cancelled. Interrupted rows are
+// never journaled as terminal, so resuming re-executes exactly them.
+const SkipInterrupted = "sweep interrupted before this run completed"
+
+// runKey derives the deterministic content hash identifying one run:
+// the kernel, the full compiler options, the machine configuration
+// (minus its non-semantic hooks), and the sweep seed. Any change to an
+// ingredient changes the key, so a journal can never resume a run under
+// different conditions.
+func (s *Suite) runKey(p *Prepared, cfg cpu.Config) string {
+	c := cfg
+	// Hooks and fault-injection overrides are process-local state, not
+	// part of the machine's identity (and funcs render as addresses).
+	c.Interrupt, c.Trace, c.Events, c.PTextOverride = nil, nil, nil, nil
+	return journal.Hash(
+		"kernel="+p.Kernel.Name,
+		fmt.Sprintf("compiler=%+v", s.Opts.Compiler),
+		fmt.Sprintf("config=%+v", c),
+		fmt.Sprintf("seed=%d", s.Opts.Seed),
+	)
+}
+
+// SweepJournal couples a sweep to its write-ahead journal directory.
+type SweepJournal struct {
+	w     *journal.Writer
+	state *journal.State
+}
+
+// OpenSweepJournal opens the journal in dir. With resume, the existing
+// journal is replayed (tolerating a torn final record from a crash) and
+// completed runs are served from it; without resume any existing journal
+// is discarded and the sweep starts fresh.
+func OpenSweepJournal(dir string, resume bool) (*SweepJournal, error) {
+	state := journal.Replay(nil, false)
+	if resume {
+		var err error
+		state, err = journal.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w, err := journal.Open(dir, !resume)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepJournal{w: w, state: state}, nil
+}
+
+// Close flushes and closes the journal file.
+func (j *SweepJournal) Close() error { return j.w.Close() }
+
+// Replayed reports how many terminal records the resumed journal
+// contributed (for progress logging) and whether its tail was torn.
+func (j *SweepJournal) Replayed() (terminal int, torn bool) {
+	return len(j.state.Terminal), j.state.Torn
+}
+
+// SweepReportContext is SweepReport with cancellation and an optional
+// write-ahead journal (nil runs un-journaled). Per-pair failures become
+// error rows, tripped breakers become typed skip rows, and cancellation
+// marks the report interrupted instead of discarding completed work.
+func (s *Suite) SweepReportContext(ctx context.Context, experiment string, cfgs []cpu.Config, j *SweepJournal) *Report {
+	rep := &Report{Experiment: experiment}
+	for _, cfg := range cfgs {
+		rep.Machines = append(rep.Machines, cfg.Name)
+	}
+	for _, p := range s.Prepared {
+		rep.Kernels = append(rep.Kernels, p.Kernel.Name)
+		for _, cfg := range cfgs {
+			row := s.sweepOne(ctx, p, cfg, j)
+			if row.Skipped == SkipInterrupted {
+				rep.Interrupted = true
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	failed := make([]string, 0, len(s.Failed))
+	for name := range s.Failed {
+		failed = append(failed, name)
+	}
+	sort.Strings(failed)
+	for _, name := range failed {
+		rep.Kernels = append(rep.Kernels, name)
+		rep.Rows = append(rep.Rows, ReportRow{Kernel: name, Error: s.Failed[name].Error()})
+	}
+	rep.Schema = rep.schemaTag()
+	return rep
+}
+
+// sweepOne produces the report row for one (kernel, config) pair: from
+// the replayed journal when resuming, otherwise by running the
+// simulation between a started record and a terminal record.
+func (s *Suite) sweepOne(ctx context.Context, p *Prepared, cfg cpu.Config, j *SweepJournal) ReportRow {
+	row := ReportRow{Kernel: p.Kernel.Name, Config: cfg.Name}
+	var key string
+	if j != nil {
+		key = s.runKey(p, cfg)
+		if rec, ok := j.state.Terminal[key]; ok {
+			if err := replayRecord(rec, &row); err == nil {
+				s.seedCache(p, cfg, &row)
+				return row
+			}
+			// An unreplayable record (e.g. result JSON from an older,
+			// incompatible build) falls through to a fresh run.
+			s.Opts.logf("journal %s on %s: replay failed, re-running", p.Kernel.Name, cfg.Name)
+		}
+	}
+	if ctx.Err() != nil {
+		row.Skipped = SkipInterrupted
+		return row
+	}
+	if j != nil {
+		if err := j.w.Append(journal.Record{Status: journal.StatusStarted, Key: key, Kernel: p.Kernel.Name, Config: cfg.Name}); err != nil {
+			s.Opts.logf("journal append failed: %v", err)
+		}
+	}
+	o := s.runOutcomeFor(ctx, p, cfg)
+	if interrupted(o.err) {
+		// No terminal record: the run stays in flight in the journal and
+		// re-executes on resume.
+		row.Skipped = SkipInterrupted
+		return row
+	}
+	if o.attempts > 1 {
+		row.Attempts = o.attempts
+	}
+	var skip *SkipError
+	switch {
+	case o.err == nil:
+		row.Result = o.res
+	case errors.As(o.err, &skip):
+		row.Skipped = skip.Reason()
+	default:
+		row.Error = o.err.Error()
+	}
+	if j != nil {
+		if err := j.w.Append(terminalRecord(key, &row, o)); err != nil {
+			s.Opts.logf("journal append failed: %v", err)
+		}
+	}
+	return row
+}
+
+// terminalRecord builds the journal record that finishes a run.
+func terminalRecord(key string, row *ReportRow, o runOutcome) journal.Record {
+	rec := journal.Record{Key: key, Kernel: row.Kernel, Config: row.Config, Attempts: o.attempts}
+	switch {
+	case row.Result != nil:
+		rec.Status = journal.StatusDone
+		rec.Result, _ = json.Marshal(row.Result)
+	case row.Skipped != "":
+		rec.Status = journal.StatusSkipped
+		rec.Skip = row.Skipped
+	default:
+		rec.Status = journal.StatusFailed
+		rec.Error = row.Error
+	}
+	return rec
+}
+
+// replayRecord fills a report row from a journaled terminal record.
+func replayRecord(rec journal.Record, row *ReportRow) error {
+	if rec.Attempts > 1 {
+		row.Attempts = rec.Attempts
+	}
+	switch rec.Status {
+	case journal.StatusDone:
+		var res cpu.Result
+		if err := json.Unmarshal(rec.Result, &res); err != nil {
+			return err
+		}
+		row.Result = &res
+	case journal.StatusFailed:
+		row.Error = rec.Error
+	case journal.StatusSkipped:
+		row.Skipped = rec.Skip
+	default:
+		return fmt.Errorf("harness: non-terminal journal record %q", rec.Status)
+	}
+	return nil
+}
+
+// seedCache installs a journal-replayed outcome into the suite's run
+// memo so figure experiments sharing the pair reuse it instead of
+// re-simulating.
+func (s *Suite) seedCache(p *Prepared, cfg cpu.Config, row *ReportRow) {
+	o := runOutcome{res: row.Result, attempts: max(row.Attempts, 1)}
+	switch {
+	case row.Error != "":
+		o.err = errors.New(row.Error)
+	case row.Skipped != "":
+		o.err = &SkipError{Kernel: p.Kernel.Name, Config: cfg.Name, Consecutive: row.Attempts, Last: errors.New(row.Skipped)}
+	}
+	key := memoKey(p, cfg)
+	s.mu.Lock()
+	if _, ok := s.cache[key]; !ok {
+		s.cache[key] = o
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,36 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode asserts the journal reader never panics on arbitrary bytes
+// and fails only with typed errors: whatever a crash, a partial disk
+// write, or a hostile file puts in the journal, the reader either
+// recovers records or reports ErrBadRecord.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"status":"started","key":"a"}` + "\n"))
+	f.Add([]byte(`{"status":"done","key":"a","attempts":2,"result":{"Cycles":1}}` + "\n"))
+	f.Add([]byte(`{"status":"started","key":"a"}` + "\n" + `{"status":"done","ke`))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, torn, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Errorf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Every surviving record must be replayable and valid.
+		for _, r := range recs {
+			if verr := r.validate(); verr != nil {
+				t.Errorf("decoded invalid record %+v: %v", r, verr)
+			}
+		}
+		Replay(recs, torn)
+	})
+}

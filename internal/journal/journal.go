@@ -1,0 +1,263 @@
+// Package journal implements the write-ahead run journal that makes
+// experiment sweeps crash-safe. Every simulation run is identified by a
+// deterministic content hash of (kernel, compiler options, machine
+// configuration, seed); the engine appends a "started" record before a
+// run and a terminal "done"/"failed"/"skipped" record after it, each
+// fsync'd, so that a sweep killed at any instruction boundary can be
+// resumed: completed runs replay from the journal, in-flight runs (a
+// "started" without a terminal record) re-execute, and the final report
+// is byte-identical to what an uninterrupted sweep would have produced.
+//
+// The journal is a JSONL file, one record per line. A crash mid-append
+// can tear the final line; Decode tolerates exactly that — a malformed
+// *last* line is dropped and reported via the torn flag, while a
+// malformed interior line is corruption and fails with ErrBadRecord.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileName is the journal file inside the journal directory.
+const FileName = "journal.jsonl"
+
+// Status is the lifecycle state a record asserts for its run.
+type Status string
+
+const (
+	// StatusStarted is appended before a run executes; without a later
+	// terminal record the run was in flight when the process died.
+	StatusStarted Status = "started"
+	// StatusDone carries the serialized result of a completed run.
+	StatusDone Status = "done"
+	// StatusFailed carries the error of a run that failed permanently
+	// (retries exhausted or a non-transient failure).
+	StatusFailed Status = "failed"
+	// StatusSkipped records a typed skip: the circuit breaker tripped and
+	// the run was abandoned without a result.
+	StatusSkipped Status = "skipped"
+)
+
+// Terminal reports whether the status finishes its run; a key whose last
+// record is terminal is never re-executed on resume.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusSkipped
+}
+
+func (s Status) known() bool {
+	return s == StatusStarted || s.Terminal()
+}
+
+// Record is one journal line.
+type Record struct {
+	Status Status `json:"status"`
+	Key    string `json:"key"`
+	Kernel string `json:"kernel,omitempty"`
+	Config string `json:"config,omitempty"`
+	// Attempts is how many attempts the run consumed (terminal records).
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the failure message (failed records).
+	Error string `json:"error,omitempty"`
+	// Skip is the typed skip reason (skipped records).
+	Skip string `json:"skip,omitempty"`
+	// Result is the serialized simulation result (done records), kept
+	// opaque here so the journal does not depend on the simulator types.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ErrBadRecord marks a malformed interior journal record (real
+// corruption, as opposed to a torn final line from a crash mid-write).
+var ErrBadRecord = errors.New("journal: malformed record")
+
+func (r Record) validate() error {
+	if !r.Status.known() {
+		return fmt.Errorf("%w: unknown status %q", ErrBadRecord, r.Status)
+	}
+	if r.Key == "" {
+		return fmt.Errorf("%w: empty key", ErrBadRecord)
+	}
+	return nil
+}
+
+// Hash derives a journal key: a short hex content hash over the given
+// canonical description parts. Parts are length-delimited so that no two
+// distinct part lists collide by concatenation.
+func Hash(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Writer appends records to the journal file, fsync'ing each one so that
+// a record returned from Append survives any subsequent crash.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open opens (creating the directory if needed) the journal in dir for
+// appending. With truncate, any existing journal is discarded first —
+// the caller is starting a fresh sweep rather than resuming one. When
+// resuming, a torn tail left by a crash mid-append is trimmed so that
+// new records never concatenate onto torn garbage.
+func Open(dir string, truncate bool) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	if !truncate {
+		if err := trimTornTail(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// trimTornTail truncates any bytes after the last newline: under the
+// one-Write-per-line discipline they can only be a torn final append.
+func trimTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	cut := bytes.LastIndexByte(data, '\n') + 1
+	if cut == len(data) {
+		return nil
+	}
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record and fsyncs. The line is written in a single
+// Write call so a crash can tear at most the final line.
+func (w *Writer) Append(rec Record) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Decode reads every record from a journal stream. A final line that is
+// incomplete or unparseable — the signature of a crash mid-append — is
+// dropped and reported through torn; any other malformed line fails with
+// an error wrapping ErrBadRecord.
+func Decode(r io.Reader) (recs []Record, torn bool, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("journal: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		perr := json.Unmarshal(line, &rec)
+		if perr == nil {
+			perr = rec.validate()
+		}
+		if perr != nil {
+			if i == len(lines)-1 || (i == len(lines)-2 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0) {
+				// Torn tail: the crash interrupted the final append.
+				return recs, true, nil
+			}
+			return nil, false, fmt.Errorf("%w: line %d: %v", ErrBadRecord, i+1, perr)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, false, nil
+}
+
+// State is the replayed journal: what resume needs to know per key.
+type State struct {
+	// Terminal maps each key to its last done/failed/skipped record;
+	// these runs are not re-executed on resume.
+	Terminal map[string]Record
+	// InFlight maps keys whose last record is "started": the process died
+	// (or was killed) while they ran, so resume re-executes them.
+	InFlight map[string]Record
+	// Torn records that the final journal line was torn by a crash.
+	Torn bool
+}
+
+// Replay folds a record sequence into resume state.
+func Replay(recs []Record, torn bool) *State {
+	st := &State{
+		Terminal: make(map[string]Record),
+		InFlight: make(map[string]Record),
+		Torn:     torn,
+	}
+	for _, rec := range recs {
+		if rec.Status.Terminal() {
+			st.Terminal[rec.Key] = rec
+			delete(st.InFlight, rec.Key)
+		} else {
+			st.InFlight[rec.Key] = rec
+		}
+	}
+	return st
+}
+
+// Load reads and replays the journal in dir. A missing journal file
+// yields an empty state: resuming a sweep that never started is a no-op.
+func Load(dir string) (*State, error) {
+	f, err := os.Open(filepath.Join(dir, FileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return Replay(nil, false), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	recs, torn, err := Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(recs, torn), nil
+}
