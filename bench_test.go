@@ -180,6 +180,47 @@ func BenchmarkAblations(b *testing.B) {
 	fmt.Println(out)
 }
 
+// sweepSuite prepares the three-kernel suite BenchmarkSweepParallel
+// sweeps (annotated, unannotated, and pointer-chasing kernels — enough
+// to keep the worker pool honest without the full fifteen).
+var (
+	sweepSuiteOnce sync.Once
+	sweepSuiteVal  *harness.Suite
+	sweepSuiteErr  error
+)
+
+// BenchmarkSweepParallel measures the journaled sweep engine's wall
+// clock at worker-pool widths 1/2/4/8 (run with `-bench SweepParallel
+// -benchtime 1x`). Every iteration drops the suite's run memo so each
+// sweep re-simulates the full (kernel, config) grid; the report row
+// order — and therefore the serialized report — is identical at every
+// width, so this measures scheduling, not semantics.
+func BenchmarkSweepParallel(b *testing.B) {
+	sweepSuiteOnce.Do(func() {
+		opts := harness.DefaultOptions()
+		opts.Kernels = []string{"mcf", "field", "pointer"}
+		sweepSuiteVal, sweepSuiteErr = harness.NewSuite(opts)
+	})
+	if sweepSuiteErr != nil {
+		b.Fatal(sweepSuiteErr)
+	}
+	s := sweepSuiteVal
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s.Opts.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				s.ResetRunCache()
+				rep := s.SweepReport("bench", harness.StandardConfigs())
+				for _, row := range rep.Rows {
+					if row.Error != "" || row.Skipped != "" {
+						b.Fatalf("%s on %s: error %q, skipped %q", row.Kernel, row.Config, row.Error, row.Skipped)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompileSuite times the SPEAR compiler pipeline (CFG + two
 // profiling passes + slicing + attach) on one representative kernel.
 func BenchmarkCompileSuite(b *testing.B) {

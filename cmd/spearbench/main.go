@@ -16,6 +16,14 @@
 // with spearstat. -cpuprofile and -memprofile write pprof profiles of the
 // sweep itself.
 //
+// Sweeps execute their (kernel, machine) pairs on a bounded worker pool
+// of -parallel goroutines (default GOMAXPROCS). The report's rows keep
+// the exact serial order regardless of completion order, and every
+// simulation is deterministic, so a parallel sweep's JSON/CSV output is
+// byte-identical to a serial (-parallel 1) sweep's — only wall clock
+// changes. Journal records interleave in completion order; resume keys
+// them by content hash, so -journal/-resume compose with -parallel.
+//
 // Crash safety: -journal <dir> write-ahead-journals every run (fsync'd
 // JSONL), and -resume replays a previous journal — completed runs are
 // served from it, in-flight ones re-execute — so a sweep killed at any
@@ -77,7 +85,7 @@ var errPartial = errors.New("sweep interrupted; resume with -journal/-resume")
 func main() {
 	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, faults, motivation, hybrid, ablate, or all")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all fifteen)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (worker-pool width for sweeps)")
 	seed := flag.Int64("seed", 1, "fault-injection seed (faults experiment); also folded into journal run keys")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	asJSON := flag.Bool("json", false, "sweep all machines and write a spear-report JSON report to stdout")

@@ -8,10 +8,19 @@
 //	spearbench -json | spearstat
 //	spearstat report.json
 //	spearstat -top 5 report.json
+//	spearstat -journal sweep.journal
+//	spearstat -journal sweep.journal -follow
 //
 // The Figure 6 table is reproduced digit for digit from the JSON alone
 // (float64 values survive the round trip exactly), so `spearbench -json |
 // spearstat` matches `spearbench -experiment fig6` without re-simulating.
+//
+// With -journal, spearstat instead inspects a sweep's write-ahead journal
+// and prints a one-line progress summary — runs done/failed/skipped and
+// the (kernel, machine) pairs currently in flight on the sweep's worker
+// pool. -follow refreshes the line in place every second until
+// interrupted, a live progress view of a parallel sweep running in
+// another process.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"spear/internal/harness"
 	"spear/internal/mem"
@@ -28,8 +38,25 @@ import (
 
 func main() {
 	top := flag.Int("top", 10, "prefetch PCs to list per (kernel, machine) pair")
+	journalDir := flag.String("journal", "", "render sweep progress from this write-ahead journal directory instead of a report")
+	follow := flag.Bool("follow", false, "with -journal: refresh the progress line every second until interrupted")
 	flag.Parse()
 
+	if *follow && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "spearstat: -follow requires -journal <dir>")
+		os.Exit(1)
+	}
+	if *journalDir != "" {
+		interval := time.Duration(0)
+		if *follow {
+			interval = time.Second
+		}
+		if err := progress(*journalDir, interval, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spearstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(flag.Args(), *top, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spearstat:", err)
 		os.Exit(1)

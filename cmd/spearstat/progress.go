@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"spear/internal/journal"
+)
+
+// Journal progress mode: `spearstat -journal <dir>` inspects a sweep's
+// write-ahead journal and prints one progress line — how many runs are
+// done, failed, or skipped, and which are currently in flight. With
+// -follow the line refreshes in place until interrupted, giving a live
+// view of a parallel sweep running in another process: the in-flight
+// count is the number of `started` records without a terminal record,
+// i.e. the worker pool's current occupancy.
+
+// progress renders the journal in dir once (follow == 0) or refreshes
+// the line every follow interval until SIGINT.
+func progress(dir string, follow time.Duration, out io.Writer) error {
+	line, err := progressLine(dir)
+	if err != nil {
+		return err
+	}
+	if follow <= 0 {
+		fmt.Fprintln(out, line)
+		return nil
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	tick := time.NewTicker(follow)
+	defer tick.Stop()
+	for {
+		fmt.Fprintf(out, "\r\033[K%s", line)
+		select {
+		case <-sigc:
+			fmt.Fprintln(out)
+			return nil
+		case <-tick.C:
+		}
+		if line, err = progressLine(dir); err != nil {
+			fmt.Fprintln(out)
+			return err
+		}
+	}
+}
+
+// progressLine loads the journal and renders its progress line.
+func progressLine(dir string) (string, error) {
+	st, err := journal.Load(dir)
+	if err != nil {
+		return "", err
+	}
+	return renderProgress(st), nil
+}
+
+// renderProgress folds replayed journal state into one human-readable
+// progress line.
+func renderProgress(st *journal.State) string {
+	var done, failed, skipped int
+	for _, rec := range st.Terminal {
+		switch rec.Status {
+		case journal.StatusDone:
+			done++
+		case journal.StatusFailed:
+			failed++
+		case journal.StatusSkipped:
+			skipped++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d done, %d failed, %d skipped | %d in flight", done, failed, skipped, len(st.InFlight))
+	if len(st.InFlight) > 0 {
+		names := make([]string, 0, len(st.InFlight))
+		for _, rec := range st.InFlight {
+			name := rec.Kernel
+			if rec.Config != "" {
+				name += "/" + rec.Config
+			}
+			if name == "" {
+				name = rec.Key
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		const show = 4
+		extra := 0
+		if len(names) > show {
+			extra = len(names) - show
+			names = names[:show]
+		}
+		fmt.Fprintf(&b, ": %s", strings.Join(names, ", "))
+		if extra > 0 {
+			fmt.Fprintf(&b, " (+%d more)", extra)
+		}
+	}
+	if st.Torn {
+		b.WriteString(" | torn tail (crash mid-append; that run re-executes on resume)")
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spear/internal/journal"
+)
+
+func writeRecords(t *testing.T, dir string, recs []journal.Record) {
+	t.Helper()
+	w, err := journal.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderProgressCountsAndInFlight(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, []journal.Record{
+		{Status: journal.StatusStarted, Key: "k1", Kernel: "mcf", Config: "baseline"},
+		{Status: journal.StatusDone, Key: "k1", Kernel: "mcf", Config: "baseline", Result: []byte(`{}`)},
+		{Status: journal.StatusStarted, Key: "k2", Kernel: "art", Config: "SPEAR-128"},
+		{Status: journal.StatusFailed, Key: "k2", Kernel: "art", Config: "SPEAR-128", Error: "boom"},
+		{Status: journal.StatusStarted, Key: "k3", Kernel: "vpr", Config: "SPEAR-256"},
+		{Status: journal.StatusSkipped, Key: "k3", Kernel: "vpr", Config: "SPEAR-256", Skip: "breaker"},
+		{Status: journal.StatusStarted, Key: "k4", Kernel: "gzip", Config: "baseline"},
+		{Status: journal.StatusStarted, Key: "k5", Kernel: "mst", Config: "SPEAR-128"},
+	})
+
+	var out bytes.Buffer
+	if err := progress(dir, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	line := out.String()
+	want := "sweep: 1 done, 1 failed, 1 skipped | 2 in flight: gzip/baseline, mst/SPEAR-128\n"
+	if line != want {
+		t.Errorf("progress line:\n got %q\nwant %q", line, want)
+	}
+}
+
+func TestRenderProgressTruncatesLongInFlightList(t *testing.T) {
+	st := journal.Replay([]journal.Record{
+		{Status: journal.StatusStarted, Key: "a", Kernel: "a", Config: "c"},
+		{Status: journal.StatusStarted, Key: "b", Kernel: "b", Config: "c"},
+		{Status: journal.StatusStarted, Key: "c", Kernel: "c", Config: "c"},
+		{Status: journal.StatusStarted, Key: "d", Kernel: "d", Config: "c"},
+		{Status: journal.StatusStarted, Key: "e", Kernel: "e", Config: "c"},
+		{Status: journal.StatusStarted, Key: "f", Kernel: "f", Config: "c"},
+	}, false)
+	line := renderProgress(st)
+	if !strings.Contains(line, "6 in flight") || !strings.Contains(line, "(+2 more)") {
+		t.Errorf("long in-flight list not truncated: %q", line)
+	}
+}
+
+func TestRenderProgressEmptyAndTorn(t *testing.T) {
+	if got := renderProgress(journal.Replay(nil, false)); got != "sweep: 0 done, 0 failed, 0 skipped | 0 in flight" {
+		t.Errorf("empty journal line = %q", got)
+	}
+	if got := renderProgress(journal.Replay(nil, true)); !strings.Contains(got, "torn tail") {
+		t.Errorf("torn journal not flagged: %q", got)
+	}
+}

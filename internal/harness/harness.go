@@ -130,8 +130,23 @@ type Suite struct {
 	// experiment built on the suite inherits graceful cancellation.
 	ctx context.Context
 
-	mu    sync.Mutex
-	cache map[string]runOutcome
+	// mu guards the three maps below. cache memoizes finished outcomes;
+	// inflight is the singleflight table — one entry per run currently
+	// executing, so concurrent callers of the same (kernel, config) pair
+	// simulate once and share the outcome; breaker holds the per-pair
+	// consecutive-failure counts the circuit breaker trips on, keyed like
+	// the memo so racing sweeps of the same pair observe one shared count.
+	mu       sync.Mutex
+	cache    map[string]runOutcome
+	inflight map[string]*inflightRun
+	breaker  map[string]int
+}
+
+// inflightRun is one singleflight slot: done is closed once the leader's
+// outcome is available in o.
+type inflightRun struct {
+	done chan struct{}
+	o    runOutcome
 }
 
 // runOutcome memoizes one simulation's result or error, so a failing
@@ -161,7 +176,7 @@ func NewSuiteContext(ctx context.Context, opts Options) (*Suite, error) {
 			names = append(names, k.Name)
 		}
 	}
-	s := &Suite{Opts: opts, ctx: ctx, cache: map[string]runOutcome{}, Failed: map[string]error{}}
+	s := &Suite{Opts: opts, ctx: ctx, cache: map[string]runOutcome{}, inflight: map[string]*inflightRun{}, breaker: map[string]int{}, Failed: map[string]error{}}
 	type slot struct {
 		p   *Prepared
 		err error
@@ -256,37 +271,71 @@ func (s *Suite) RunContext(ctx context.Context, p *Prepared, cfg cpu.Config) (*c
 // report rows. Interrupted outcomes are NOT memoized: a cancelled run
 // must re-execute on the next call (or the resumed sweep), not poison
 // the cache.
+//
+// Concurrent calls for the same (kernel, config) pair are deduplicated
+// by singleflight: the first caller becomes the leader and simulates;
+// every other caller waits for the leader's outcome instead of running
+// the simulation again. If the leader was interrupted (its outcome is
+// not memoized) a waiter whose own context is still live retries —
+// becoming the new leader — rather than propagating a cancellation it
+// never suffered.
 func (s *Suite) runOutcomeFor(ctx context.Context, p *Prepared, cfg cpu.Config) runOutcome {
 	key := memoKey(p, cfg)
-	s.mu.Lock()
-	if o, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return o
-	}
-	s.mu.Unlock()
-	s.Opts.logf("run %s on %s (mem %d)", p.Kernel.Name, cfg.Name, cfg.Hierarchy.MemLatency)
-	o := s.runWithRetry(ctx, p, cfg)
-	if o.err != nil {
-		if _, skipped := o.err.(*SkipError); !skipped {
-			o.err = fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, o.err)
+	for {
+		s.mu.Lock()
+		if o, ok := s.cache[key]; ok {
+			s.mu.Unlock()
+			return o
 		}
-	}
-	if interrupted(o.err) {
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, ctx.Err())}
+			}
+			if !interrupted(fl.o.err) {
+				return fl.o
+			}
+			if ctx.Err() != nil {
+				return fl.o
+			}
+			continue // leader was cancelled but we were not: take over
+		}
+		fl := &inflightRun{done: make(chan struct{})}
+		if s.inflight == nil {
+			s.inflight = map[string]*inflightRun{}
+		}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+
+		s.Opts.logf("run %s on %s (mem %d)", p.Kernel.Name, cfg.Name, cfg.Hierarchy.MemLatency)
+		o := s.runWithRetry(ctx, p, cfg)
+		if o.err != nil {
+			if _, skipped := o.err.(*SkipError); !skipped {
+				o.err = fmt.Errorf("harness: %s on %s: %w", p.Kernel.Name, cfg.Name, o.err)
+			}
+		}
+		s.mu.Lock()
+		if !interrupted(o.err) {
+			s.cache[key] = o
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		fl.o = o
+		close(fl.done)
 		return o
 	}
-	s.mu.Lock()
-	s.cache[key] = o
-	s.mu.Unlock()
-	return o
 }
 
 // runWithRetry executes one run under the retry policy: transient
 // failures back off exponentially (with deterministic jitter) and retry
-// up to MaxAttempts; BreakerThreshold consecutive failures trip the
-// circuit breaker into a typed *SkipError.
+// up to MaxAttempts; BreakerThreshold consecutive failures of the same
+// (kernel, config) pair trip the circuit breaker into a typed
+// *SkipError.
 func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) runOutcome {
 	pol := s.Opts.Retry.normalized()
-	var consecutive int
+	key := memoKey(p, cfg)
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, err), attempts: attempt - 1}
@@ -302,12 +351,13 @@ func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) r
 			res, err = runProtected(ctx, p.Ref, cfg, s.Opts.RunTimeout)
 		}
 		if err == nil {
+			s.breakerReset(key)
 			return runOutcome{res: res, attempts: attempt}
 		}
 		if interrupted(err) {
 			return runOutcome{err: err, attempts: attempt}
 		}
-		consecutive++
+		consecutive := s.breakerFail(key)
 		if pol.BreakerThreshold > 0 && consecutive >= pol.BreakerThreshold {
 			s.Opts.logf("breaker %s on %s: tripped after %d consecutive failures", p.Kernel.Name, cfg.Name, consecutive)
 			return runOutcome{
@@ -318,12 +368,23 @@ func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) r
 		if !transientError(err) || attempt >= pol.MaxAttempts {
 			return runOutcome{err: err, attempts: attempt}
 		}
-		d := pol.backoffFor(memoKey(p, cfg), attempt)
+		d := pol.backoffFor(key, attempt)
 		s.Opts.logf("retry %s on %s: attempt %d failed (%v); backing off %v", p.Kernel.Name, cfg.Name, attempt, err, d)
 		if serr := sleepBackoff(ctx, d); serr != nil {
 			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, serr), attempts: attempt}
 		}
 	}
+}
+
+// ResetRunCache forgets every memoized run outcome and breaker count so
+// the next sweep re-simulates from scratch. It exists so benchmarks
+// (BenchmarkSweepParallel) can measure real simulation work on every
+// iteration; it must not be called while runs are in flight.
+func (s *Suite) ResetRunCache() {
+	s.mu.Lock()
+	s.cache = map[string]runOutcome{}
+	s.breaker = map[string]int{}
+	s.mu.Unlock()
 }
 
 // suiteCtx returns the suite-wide context (Background when the suite was

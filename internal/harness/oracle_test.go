@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"testing"
+
+	"spear/internal/emu"
+)
+
+// TestDifferentialOracleSuiteWide is the suite-wide differential oracle:
+// for every kernel under every StandardConfigs machine, the cycle
+// simulator's final architectural state — retired register file plus
+// memory image, fingerprinted by FinalStateHash — and its committed
+// instruction count must equal an independent functional emulation of
+// the same binary. This generalizes the per-run containment check of the
+// fault-injection harness into one table-driven sweep over the whole
+// evaluation grid, and doubles as an end-to-end exercise of the parallel
+// sweep engine on real kernels.
+//
+// In -short mode (and under the race detector, which slows the cycle
+// core by an order of magnitude) the grid is restricted to one annotated
+// and one unannotated kernel; the full fifteen-kernel grid runs in the
+// default mode that tier-1 CI uses.
+func TestDifferentialOracleSuiteWide(t *testing.T) {
+	var s *Suite
+	if testing.Short() || raceEnabled {
+		s = suite(t) // the shared two-kernel suite (one annotated, one not)
+	} else {
+		var err error
+		if s, err = NewSuite(DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, perr := range s.Failed {
+		t.Errorf("kernel %s failed to prepare: %v", name, perr)
+	}
+
+	// One independent emulator run per kernel yields the reference state;
+	// the sweep (on the parallel engine) yields every simulator state.
+	type ref struct{ hash, count uint64 }
+	refs := make(map[string]ref, len(s.Prepared))
+	for _, p := range s.Prepared {
+		m := emu.New(p.Ref)
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatalf("%s: reference emulation: %v", p.Kernel.Name, err)
+		}
+		refs[p.Kernel.Name] = ref{hash: m.StateHash(), count: m.Count}
+	}
+
+	cfgs := StandardConfigs()
+	rep := s.SweepReport("differential-oracle", cfgs)
+	if rep.Interrupted {
+		t.Fatal("oracle sweep reported interrupted")
+	}
+	for _, p := range s.Prepared {
+		want := refs[p.Kernel.Name]
+		for _, cfg := range cfgs {
+			t.Run(p.Kernel.Name+"/"+cfg.Name, func(t *testing.T) {
+				row := rep.Lookup(p.Kernel.Name, cfg.Name)
+				if row == nil {
+					t.Fatal("row missing from the sweep report")
+				}
+				if row.Error != "" || row.Skipped != "" {
+					t.Fatalf("run did not complete: error %q, skipped %q", row.Error, row.Skipped)
+				}
+				res := row.Result
+				if res.MainCommitted != want.count {
+					t.Errorf("committed %d instructions, emulator retired %d", res.MainCommitted, want.count)
+				}
+				if res.FinalStateHash != want.hash {
+					t.Errorf("final state hash %#x, emulator %#x (registers+memory diverged)", res.FinalStateHash, want.hash)
+				}
+			})
+		}
+	}
+}

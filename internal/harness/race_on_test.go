@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which slows the cycle simulator by an order of magnitude;
+// the suite-wide differential oracle restricts itself to a representative
+// kernel subset under it.
+const raceEnabled = true

@@ -31,7 +31,7 @@ loop:   addi r1, r1, 1
 // bypassing kernel preparation (which dominates harness test time).
 func tinySuite(t *testing.T, opts Options, kernels ...string) *Suite {
 	t.Helper()
-	s := &Suite{Opts: opts, ctx: context.Background(), cache: map[string]runOutcome{}, Failed: map[string]error{}}
+	s := &Suite{Opts: opts, ctx: context.Background(), cache: map[string]runOutcome{}, inflight: map[string]*inflightRun{}, breaker: map[string]int{}, Failed: map[string]error{}}
 	for _, name := range kernels {
 		p, err := asm.Assemble(name+".s", tinyLoop)
 		if err != nil {

@@ -15,7 +15,10 @@ import (
 // errors) are retried with exponential backoff plus deterministic
 // jitter, and a per-(kernel, config) circuit breaker trips after
 // BreakerThreshold consecutive failures, converting the run into a typed
-// skip instead of hanging or aborting the sweep.
+// skip instead of hanging or aborting the sweep. The breaker's
+// consecutive-failure counts live in a keyed map under the suite mutex
+// (see breakerFail), not in the retry loop, so concurrent sweeps of the
+// same pair share one count and the count persists across calls.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts per run, the first
 	// included. Values below 1 mean 1 (no retries).
@@ -65,6 +68,29 @@ func (p RetryPolicy) backoffFor(key string, attempt int) time.Duration {
 	fmt.Fprintf(h, "%s|%d", key, attempt)
 	frac := float64(h.Sum64()%1024) / 1024 // [0,1)
 	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// breakerFail records one failure against the pair's circuit-breaker
+// counter and returns the updated consecutive-failure count. The counter
+// lives in a keyed map under the suite mutex (not a local variable in
+// the retry loop), so racing sweeps of the same pair observe one shared
+// count.
+func (s *Suite) breakerFail(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.breaker == nil {
+		s.breaker = map[string]int{}
+	}
+	s.breaker[key]++
+	return s.breaker[key]
+}
+
+// breakerReset clears the pair's consecutive-failure count after a
+// successful run.
+func (s *Suite) breakerReset(key string) {
+	s.mu.Lock()
+	delete(s.breaker, key)
+	s.mu.Unlock()
 }
 
 // SkipError is the typed outcome of a tripped circuit breaker: the run

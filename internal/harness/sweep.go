@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"spear/internal/cpu"
 	"spear/internal/journal"
@@ -82,21 +83,62 @@ func (j *SweepJournal) Replayed() (terminal int, torn bool) {
 // write-ahead journal (nil runs un-journaled). Per-pair failures become
 // error rows, tripped breakers become typed skip rows, and cancellation
 // marks the report interrupted instead of discarding completed work.
+//
+// The (kernel, config) pairs execute on a bounded worker pool of
+// Options.Parallel goroutines (min 1). Rows are assembled by index into
+// the exact kernel-major order the serial engine produced, and every run
+// is deterministic given its inputs, so a parallel sweep's report is
+// byte-identical to a serial one's — only wall clock changes. Journal
+// records from concurrent runs interleave in completion order; Replay
+// keys them by content hash, so resume is order-blind. On cancellation
+// the pool drains: in-flight workers are preempted cooperatively and
+// their rows (plus every never-started row) are stamped SkipInterrupted
+// only after all workers have returned, so nothing is still running when
+// the report (and the journal) is finalized.
 func (s *Suite) SweepReportContext(ctx context.Context, experiment string, cfgs []cpu.Config, j *SweepJournal) *Report {
 	rep := &Report{Experiment: experiment}
 	for _, cfg := range cfgs {
 		rep.Machines = append(rep.Machines, cfg.Name)
 	}
+	type task struct {
+		p   *Prepared
+		cfg cpu.Config
+		idx int
+	}
+	tasks := make([]task, 0, len(s.Prepared)*len(cfgs))
 	for _, p := range s.Prepared {
 		rep.Kernels = append(rep.Kernels, p.Kernel.Name)
 		for _, cfg := range cfgs {
-			row := s.sweepOne(ctx, p, cfg, j)
-			if row.Skipped == SkipInterrupted {
-				rep.Interrupted = true
-			}
-			rep.Rows = append(rep.Rows, row)
+			tasks = append(tasks, task{p: p, cfg: cfg, idx: len(tasks)})
 		}
 	}
+	rows := make([]ReportRow, len(tasks))
+	workers := max(1, s.Opts.Parallel)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	feed := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range feed {
+				rows[t.idx] = s.sweepOne(ctx, t.p, t.cfg, j)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		feed <- t
+	}
+	close(feed)
+	wg.Wait()
+	for _, row := range rows {
+		if row.Skipped == SkipInterrupted {
+			rep.Interrupted = true
+		}
+	}
+	rep.Rows = append(rep.Rows, rows...)
 	failed := make([]string, 0, len(s.Failed))
 	for name := range s.Failed {
 		failed = append(failed, name)

@@ -102,9 +102,27 @@ func Hash(parts ...string) string {
 
 // Writer appends records to the journal file, fsync'ing each one so that
 // a record returned from Append survives any subsequent crash.
+//
+// The file is owned by a single writer goroutine: concurrent Appends
+// enqueue marshalled lines and block until their record is durable.
+// Lines queued while an fsync is in progress are group-committed — one
+// Write and one Sync cover the whole batch — so a parallel sweep pays
+// roughly one fsync per disk flush rather than one per run. Records from
+// concurrent runs may interleave in any order; Replay keys records by
+// content hash, so journal order never matters for resume.
 type Writer struct {
-	mu sync.Mutex
-	f  *os.File
+	mu     sync.Mutex // guards closed and the send into reqs
+	closed bool
+	reqs   chan appendReq
+	done   chan struct{} // closed when the writer goroutine exits
+	f      *os.File
+}
+
+// appendReq is one marshalled line awaiting the writer goroutine; errc
+// receives the outcome of the write+fsync that made it durable.
+type appendReq struct {
+	line []byte
+	errc chan error
 }
 
 // Open opens (creating the directory if needed) the journal in dir for
@@ -130,7 +148,56 @@ func Open(dir string, truncate bool) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f}, nil
+	w := &Writer{f: f, reqs: make(chan appendReq, 64), done: make(chan struct{})}
+	go w.serve()
+	return w, nil
+}
+
+// serve is the single writer goroutine: it owns the file, draining every
+// queued request into one batch per iteration so that one Write and one
+// Sync make a whole group of concurrent appends durable together.
+func (w *Writer) serve() {
+	defer close(w.done)
+	for {
+		req, ok := <-w.reqs
+		if !ok {
+			return
+		}
+		batch := []appendReq{req}
+	drain:
+		for {
+			select {
+			case r, ok := <-w.reqs:
+				if !ok {
+					w.commit(batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		w.commit(batch)
+	}
+}
+
+// commit writes a batch of lines and fsyncs once, then acks every
+// requester with the shared outcome. Lines are concatenated into a
+// single Write: a crash can truncate the write but never reorder it, so
+// at most the batch's final surviving line is torn — exactly what Decode
+// tolerates.
+func (w *Writer) commit(batch []appendReq) {
+	var buf []byte
+	for _, r := range batch {
+		buf = append(buf, r.line...)
+	}
+	_, err := w.f.Write(buf)
+	if err == nil {
+		err = w.f.Sync()
+	}
+	for _, r := range batch {
+		r.errc <- err
+	}
 }
 
 // trimTornTail truncates any bytes after the last newline: under the
@@ -153,8 +220,12 @@ func trimTornTail(path string) error {
 	return nil
 }
 
-// Append writes one record and fsyncs. The line is written in a single
-// Write call so a crash can tear at most the final line.
+// ErrClosed marks an append against a writer that was already closed.
+var ErrClosed = errors.New("journal: writer closed")
+
+// Append writes one record and returns once it is durable (written and
+// fsync'd by the writer goroutine, possibly group-committed with other
+// concurrent appends). Append is safe for concurrent use.
 func (w *Writer) Append(rec Record) error {
 	if err := rec.validate(); err != nil {
 		return err
@@ -164,21 +235,36 @@ func (w *Writer) Append(rec Record) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	line = append(line, '\n')
+	errc := make(chan error, 1)
+	// The lock covers the closed check and the send together so Close can
+	// never close reqs between them (a send on a closed channel panics).
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := w.f.Write(line); err != nil {
-		return fmt.Errorf("journal: %w", err)
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
 	}
-	if err := w.f.Sync(); err != nil {
+	w.reqs <- appendReq{line: line, errc: errc}
+	w.mu.Unlock()
+	if err := <-errc; err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
 }
 
-// Close closes the underlying file.
+// Close drains pending appends, stops the writer goroutine, and closes
+// the underlying file. Close is idempotent; appends after Close fail
+// with ErrClosed.
 func (w *Writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return nil
+	}
+	w.closed = true
+	close(w.reqs)
+	w.mu.Unlock()
+	<-w.done
 	return w.f.Close()
 }
 
