@@ -9,6 +9,8 @@
 //	spearbench -csv  [-kernels mcf,art] > report.csv
 //	spearbench -json -journal sweep.journal > report.json
 //	spearbench -json -journal sweep.journal -resume > report.json
+//	spearbench -fsck -journal sweep.journal
+//	spearbench -compact -journal sweep.journal
 //
 // With -json or -csv the bench instead sweeps every kernel across the five
 // machine models and emits one machine-readable report on stdout (schema
@@ -24,19 +26,28 @@
 // changes. Journal records interleave in completion order; resume keys
 // them by content hash, so -journal/-resume compose with -parallel.
 //
-// Crash safety: -journal <dir> write-ahead-journals every run (fsync'd
-// JSONL), and -resume replays a previous journal — completed runs are
-// served from it, in-flight ones re-execute — so a sweep killed at any
-// point converges to the exact report an uninterrupted sweep produces.
+// Crash safety: -journal <dir> write-ahead-journals every run (fsync'd,
+// checksummed records), and -resume replays a previous journal —
+// completed runs are served from it, in-flight ones re-execute, corrupt
+// records are quarantined to a sidecar and their runs re-execute — so a
+// sweep killed at any point, even on degraded storage, converges to the
+// exact report an uninterrupted sweep produces.
 // SIGINT/SIGTERM cancel gracefully: in-flight simulations are preempted
 // within a bounded cycle count, the journal is flushed, and a partial
 // report marked "interrupted" is still written; a second signal forces an
 // immediate exit.
 //
+// Journal maintenance: -fsck walks the journal and reports per-record
+// integrity without modifying anything; -compact folds the journal down
+// to each run's latest record (rewriting atomically, quarantining any
+// damage along the way), the upgrade path from v1 to checksummed v2
+// records.
+//
 // Exit codes:
 //
 //	0  complete — every requested run finished (errors included as rows)
 //	3  partial  — the sweep was interrupted; resume it with -journal/-resume
+//	5  damaged  — -fsck found torn or corrupt journal records
 //	1  hard failure — bad flags, unknown kernel, I/O errors, ...
 //
 // Running everything takes a few minutes; use -kernels to restrict the set.
@@ -68,6 +79,7 @@ import (
 
 	"spear/internal/cpu"
 	"spear/internal/harness"
+	"spear/internal/journal"
 	"spear/internal/workloads"
 )
 
@@ -76,11 +88,16 @@ const (
 	exitOK      = 0
 	exitErr     = 1
 	exitPartial = 3
+	exitDamaged = 5
 )
 
 // errPartial marks a gracefully interrupted sweep: the partial report was
 // written and the process exits with code 3.
 var errPartial = errors.New("sweep interrupted; resume with -journal/-resume")
+
+// errDamaged marks an -fsck walk that found torn or corrupt records: the
+// report was printed and the process exits with code 5.
+var errDamaged = errors.New("journal damaged; resume quarantines and re-executes the damaged runs")
 
 func main() {
 	experiment := flag.String("experiment", "all", "table1, fig6, table3, fig7, fig8, fig9, faults, motivation, hybrid, ablate, or all")
@@ -92,6 +109,8 @@ func main() {
 	asCSV := flag.Bool("csv", false, "sweep all machines and write a flat CSV report to stdout")
 	journalDir := flag.String("journal", "", "write-ahead journal directory for crash-safe sweeps (with -json/-csv)")
 	resume := flag.Bool("resume", false, "resume from the journal in -journal: replay completed runs, re-execute in-flight ones")
+	fsck := flag.Bool("fsck", false, "verify per-record integrity of the journal in -journal and exit (5 on damage)")
+	compact := flag.Bool("compact", false, "fold the journal in -journal down to each run's latest record and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
@@ -101,6 +120,7 @@ func main() {
 Exit codes:
   0  complete — every requested run finished (per-run errors included as rows)
   3  partial  — interrupted by SIGINT/SIGTERM; resume with -journal <dir> -resume
+  5  damaged  — -fsck found torn or corrupt journal records
   1  hard failure
 
 A first SIGINT/SIGTERM cancels gracefully (journal flushed, partial report
@@ -122,6 +142,17 @@ written); a second forces an immediate exit.
 		os.Exit(exitErr)
 	}()
 
+	if *fsck || *compact {
+		if err := maintain(*journalDir, *fsck, *compact); err != nil {
+			fmt.Fprintln(os.Stderr, "spearbench:", err)
+			if errors.Is(err, errDamaged) {
+				os.Exit(exitDamaged)
+			}
+			os.Exit(exitErr)
+		}
+		os.Exit(exitOK)
+	}
+
 	err := profiled(*cpuProfile, *memProfile, func() error {
 		return run(ctx, *experiment, *kernels, *parallel, *seed, *verbose, *asJSON, *asCSV, *journalDir, *resume)
 	})
@@ -135,6 +166,42 @@ written); a second forces an immediate exit.
 		fmt.Fprintln(os.Stderr, "spearbench:", err)
 		os.Exit(exitErr)
 	}
+}
+
+// maintain handles the journal maintenance modes (-fsck, -compact),
+// which run without building a kernel suite.
+func maintain(dir string, fsck, compact bool) error {
+	if dir == "" {
+		return fmt.Errorf("-fsck/-compact require -journal <dir>")
+	}
+	if fsck && compact {
+		return fmt.Errorf("-fsck and -compact are mutually exclusive")
+	}
+	if fsck {
+		rep, err := journal.Fsck(nil, dir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if !rep.Clean() {
+			return errDamaged
+		}
+		return nil
+	}
+	events := func(e journal.Event) { fmt.Fprintln(os.Stderr, "spearbench:", e) }
+	stats, err := journal.Compact(nil, dir, events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal %s: compacted %d records (%d bytes) to %d records (%d bytes)\n",
+		dir, stats.RecordsBefore, stats.BytesBefore, stats.RecordsAfter, stats.BytesAfter)
+	if stats.Quarantined > 0 {
+		fmt.Printf("  %d corrupt records quarantined to %s\n", stats.Quarantined, journal.QuarantineName)
+	}
+	if stats.TornTrimmed {
+		fmt.Println("  torn final record dropped")
+	}
+	return nil
 }
 
 // profiled runs f under the optional pprof CPU and heap profiles.
@@ -204,7 +271,11 @@ func run(ctx context.Context, experiment, kernels string, parallel int, seed int
 		}
 		var sj *harness.SweepJournal
 		if journalDir != "" {
-			sj, err = harness.OpenSweepJournal(journalDir, resume)
+			jcfg := harness.SweepJournalConfig{}
+			if verbose {
+				jcfg.Log = os.Stderr
+			}
+			sj, err = harness.OpenSweepJournalConfig(journalDir, resume, jcfg)
 			if err != nil {
 				return err
 			}
@@ -214,6 +285,9 @@ func run(ctx context.Context, experiment, kernels string, parallel int, seed int
 				fmt.Fprintf(os.Stderr, "spearbench: resuming: %d completed runs replayed from the journal", replayed)
 				if torn {
 					fmt.Fprint(os.Stderr, " (torn final record dropped; its run re-executes)")
+				}
+				if q := sj.Quarantined(); q > 0 {
+					fmt.Fprintf(os.Stderr, " (%d corrupt records quarantined; their runs re-execute)", q)
 				}
 				fmt.Fprintln(os.Stderr)
 			}

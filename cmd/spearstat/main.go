@@ -10,6 +10,7 @@
 //	spearstat -top 5 report.json
 //	spearstat -journal sweep.journal
 //	spearstat -journal sweep.journal -follow
+//	spearstat -journal sweep.journal -verify
 //
 // The Figure 6 table is reproduced digit for digit from the JSON alone
 // (float64 values survive the round trip exactly), so `spearbench -json |
@@ -20,7 +21,15 @@
 // the (kernel, machine) pairs currently in flight on the sweep's worker
 // pool. -follow refreshes the line in place every second until
 // interrupted, a live progress view of a parallel sweep running in
-// another process.
+// another process; a journal that does not exist yet shows a waiting
+// line until the sweep creates it.
+//
+// -verify walks the journal and reports per-record integrity (the same
+// check as spearbench -fsck): record counts by format version, run
+// states, torn tails, and corrupt records.
+//
+// Exit codes: 0 clean (or report rendered), 2 journal damaged (torn or
+// corrupt records), 1 hard failure.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"spear/internal/harness"
+	"spear/internal/journal"
 	"spear/internal/mem"
 	"spear/internal/stats"
 )
@@ -40,11 +50,24 @@ func main() {
 	top := flag.Int("top", 10, "prefetch PCs to list per (kernel, machine) pair")
 	journalDir := flag.String("journal", "", "render sweep progress from this write-ahead journal directory instead of a report")
 	follow := flag.Bool("follow", false, "with -journal: refresh the progress line every second until interrupted")
+	verify := flag.Bool("verify", false, "with -journal: walk the journal and report per-record integrity (exit 2 on damage)")
 	flag.Parse()
 
-	if *follow && *journalDir == "" {
-		fmt.Fprintln(os.Stderr, "spearstat: -follow requires -journal <dir>")
+	if (*follow || *verify) && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "spearstat: -follow/-verify require -journal <dir>")
 		os.Exit(1)
+	}
+	if *verify {
+		rep, err := journal.Fsck(nil, *journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spearstat:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Summary())
+		if !rep.Clean() {
+			os.Exit(2)
+		}
+		return
 	}
 	if *journalDir != "" {
 		interval := time.Duration(0)

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -21,7 +24,10 @@ import (
 // i.e. the worker pool's current occupancy.
 
 // progress renders the journal in dir once (follow == 0) or refreshes
-// the line every follow interval until SIGINT.
+// the line every follow interval until SIGINT. A journal that does not
+// exist yet is not an error: -follow is commonly started before the
+// sweep it watches, so it shows a waiting line and polls until the
+// journal file appears.
 func progress(dir string, follow time.Duration, out io.Writer) error {
 	line, err := progressLine(dir)
 	if err != nil {
@@ -51,8 +57,13 @@ func progress(dir string, follow time.Duration, out io.Writer) error {
 	}
 }
 
-// progressLine loads the journal and renders its progress line.
+// progressLine loads the journal and renders its progress line, or a
+// waiting line while the journal file does not exist yet.
 func progressLine(dir string) (string, error) {
+	path := filepath.Join(dir, journal.FileName)
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		return "waiting for journal " + path + " to be created", nil
+	}
 	st, err := journal.Load(dir)
 	if err != nil {
 		return "", err
@@ -102,6 +113,9 @@ func renderProgress(st *journal.State) string {
 	}
 	if st.Torn {
 		b.WriteString(" | torn tail (crash mid-append; that run re-executes on resume)")
+	}
+	if st.Quarantined > 0 {
+		fmt.Fprintf(&b, " | %d corrupt records skipped (their runs re-execute on resume)", st.Quarantined)
 	}
 	return b.String()
 }

@@ -63,6 +63,40 @@ func TestRenderProgressTruncatesLongInFlightList(t *testing.T) {
 	}
 }
 
+// TestProgressMissingJournalShowsWaitingLine pins the -follow
+// contract: watching a journal that does not exist yet is not an error,
+// it reports that it is waiting for the sweep to create the file.
+func TestProgressMissingJournalShowsWaitingLine(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := progress(dir, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "waiting for journal") {
+		t.Errorf("missing journal line = %q, want a waiting notice", out.String())
+	}
+	// Once the journal exists, the same call renders real progress.
+	writeRecords(t, dir, []journal.Record{
+		{Status: journal.StatusStarted, Key: "k1", Kernel: "mcf", Config: "baseline"},
+	})
+	out.Reset()
+	if err := progress(dir, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 in flight") {
+		t.Errorf("created journal line = %q, want progress", out.String())
+	}
+}
+
+// TestRenderProgressQuarantined pins the corrupt-record notice.
+func TestRenderProgressQuarantined(t *testing.T) {
+	st := journal.Replay(nil, false)
+	st.Quarantined = 2
+	if got := renderProgress(st); !strings.Contains(got, "2 corrupt records skipped") {
+		t.Errorf("quarantined records not flagged: %q", got)
+	}
+}
+
 func TestRenderProgressEmptyAndTorn(t *testing.T) {
 	if got := renderProgress(journal.Replay(nil, false)); got != "sweep: 0 done, 0 failed, 0 skipped | 0 in flight" {
 		t.Errorf("empty journal line = %q", got)

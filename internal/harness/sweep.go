@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
 	"spear/internal/cpu"
+	"spear/internal/iofault"
 	"spear/internal/journal"
+	"spear/internal/obs"
 )
 
 // Crash-safe sweeps: SweepReportContext couples the sweep to a
@@ -46,37 +49,120 @@ func (s *Suite) runKey(p *Prepared, cfg cpu.Config) string {
 
 // SweepJournal couples a sweep to its write-ahead journal directory.
 type SweepJournal struct {
-	w     *journal.Writer
-	state *journal.State
+	w      *journal.Writer
+	state  *journal.State
+	repair *journal.RepairStats
 }
 
-// OpenSweepJournal opens the journal in dir. With resume, the existing
-// journal is replayed (tolerating a torn final record from a crash) and
-// completed runs are served from it; without resume any existing journal
-// is discarded and the sweep starts fresh.
+// SweepJournalConfig tunes how a sweep's journal is opened. The zero
+// value selects the real filesystem with no telemetry.
+type SweepJournalConfig struct {
+	// FS is the filesystem the journal lives on (nil = the real one).
+	// Torture tests substitute an iofault.Faulty.
+	FS iofault.FS
+	// Obs receives storage-health events (io-retry, io-backoff,
+	// quarantine, io-repair) alongside the pipeline telemetry, so degraded
+	// storage shows up in the same traces as the runs it slowed.
+	Obs *obs.Recorder
+	// Log receives one human-readable line per storage-health event.
+	Log io.Writer
+}
+
+// events builds the journal.EventFunc bridging storage-health events to
+// the recorder and log. Journal events can fire from the writer
+// goroutine while obs.Recorder is single-threaded, so the bridge owns a
+// mutex and flushes per event (these are rare; latency beats batching).
+func (c SweepJournalConfig) events() journal.EventFunc {
+	if c.Obs == nil && c.Log == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(e journal.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c.Log != nil {
+			fmt.Fprintf(c.Log, "%s\n", e)
+		}
+		if c.Obs == nil {
+			return
+		}
+		ev := obs.Event{Text: e.Path}
+		if e.Err != nil {
+			ev.Text = e.Path + ": " + e.Err.Error()
+		}
+		switch e.Kind {
+		case journal.EventCommitRetry:
+			ev.Kind, ev.Arg = obs.KindIORetry, uint64(e.Attempt)
+		case journal.EventNospcBackoff:
+			ev.Kind, ev.Arg = obs.KindIOBackoff, uint64(e.Attempt)
+		case journal.EventQuarantine:
+			ev.Kind, ev.Arg = obs.KindQuarantine, uint64(e.Records)
+		case journal.EventRepair, journal.EventCompact:
+			ev.Kind, ev.Arg = obs.KindIORepair, uint64(e.Records)
+		default:
+			return
+		}
+		if c.Obs.Active(0) {
+			c.Obs.Emit(ev)
+			c.Obs.Flush()
+		}
+	}
+}
+
+// OpenSweepJournal opens the journal in dir with default settings. See
+// OpenSweepJournalConfig.
 func OpenSweepJournal(dir string, resume bool) (*SweepJournal, error) {
-	state := journal.Replay(nil, false)
+	return OpenSweepJournalConfig(dir, resume, SweepJournalConfig{})
+}
+
+// OpenSweepJournalConfig opens the journal in dir. With resume, the
+// journal first self-heals — corrupt records are quarantined to the
+// sidecar and a torn final record is trimmed — then the survivors are
+// replayed and completed runs are served from them; quarantined and torn
+// runs simply re-execute, so a damaged journal is degraded, never fatal.
+// Without resume any existing journal is discarded and the sweep starts
+// fresh.
+func OpenSweepJournalConfig(dir string, resume bool, cfg SweepJournalConfig) (*SweepJournal, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = iofault.OS()
+	}
+	events := cfg.events()
+	j := &SweepJournal{state: journal.Replay(nil, false), repair: &journal.RepairStats{}}
 	if resume {
 		var err error
-		state, err = journal.Load(dir)
+		j.repair, err = journal.Repair(fsys, dir, events)
+		if err != nil {
+			return nil, err
+		}
+		j.state, err = journal.LoadFS(fsys, dir)
 		if err != nil {
 			return nil, err
 		}
 	}
-	w, err := journal.Open(dir, !resume)
+	w, err := journal.OpenConfig(dir, !resume, journal.Config{FS: fsys, Events: events})
 	if err != nil {
 		return nil, err
 	}
-	return &SweepJournal{w: w, state: state}, nil
+	j.w = w
+	return j, nil
 }
 
 // Close flushes and closes the journal file.
 func (j *SweepJournal) Close() error { return j.w.Close() }
 
 // Replayed reports how many terminal records the resumed journal
-// contributed (for progress logging) and whether its tail was torn.
+// contributed (for progress logging) and whether its tail was torn —
+// either still in the replayed state or already trimmed by the repair
+// pass that ran before replay.
 func (j *SweepJournal) Replayed() (terminal int, torn bool) {
-	return len(j.state.Terminal), j.state.Torn
+	return len(j.state.Terminal), j.state.Torn || j.repair.TornTrimmed
+}
+
+// Quarantined reports how many corrupt records the resume path moved to
+// the quarantine sidecar (or skipped); their runs re-execute.
+func (j *SweepJournal) Quarantined() int {
+	return j.state.Quarantined + j.repair.Quarantined
 }
 
 // SweepReportContext is SweepReport with cancellation and an optional

@@ -1,0 +1,208 @@
+// Package iofault abstracts the filesystem operations durable storage
+// uses (create, append, fsync, rename, read) behind a small interface
+// and provides two implementations: the real filesystem, and a
+// deterministic fault-injecting wrapper that perturbs those operations
+// according to a seeded plan — torn writes, short writes, EIO, ENOSPC,
+// silent bit-flip corruption, and lying fsyncs — plus a power-loss
+// Crash operation that rewinds the backing directory to exactly the
+// state a real crash could leave.
+//
+// The package mirrors internal/harness/faultinject.go, which injects
+// seeded faults at the speculative/architectural boundary: here the
+// boundary is the storage stack, and the contract under test is the
+// journal's detect-contain-recover discipline. Every fault decision is
+// a pure function of the plan seed and the operation sequence, so any
+// failing torture run reproduces from its seed alone.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// Op names one injectable filesystem operation.
+type Op uint8
+
+const (
+	OpCreate Op = 1 + iota // opening a file that does not exist yet
+	OpWrite
+	OpSync
+	OpRead
+	OpTruncate
+	OpRename
+	OpRemove
+	OpSyncDir
+)
+
+var opNames = [...]string{
+	OpCreate:   "create",
+	OpWrite:    "write",
+	OpSync:     "sync",
+	OpRead:     "read",
+	OpTruncate: "truncate",
+	OpRename:   "rename",
+	OpRemove:   "remove",
+	OpSyncDir:  "sync-dir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Kind names one category of injected I/O fault.
+type Kind uint8
+
+const (
+	// KindEIO fails the operation with EIO; nothing is persisted.
+	KindEIO Kind = 1 + iota
+	// KindENOSPC fails a write with ENOSPC; nothing is persisted. The
+	// store is expected to back off and retry rather than corrupt state.
+	KindENOSPC
+	// KindTorn persists only a prefix of the write and fails with EIO —
+	// the classic torn write a power cut leaves behind.
+	KindTorn
+	// KindShort persists only a prefix of the write and returns the short
+	// count with io.ErrShortWrite.
+	KindShort
+	// KindBitFlip persists the write with one bit flipped and reports
+	// success — silent media corruption only a checksum can catch.
+	KindBitFlip
+	// KindSyncLie makes Sync report success without making anything
+	// durable: a crash later loses data the caller believed safe.
+	KindSyncLie
+)
+
+var kindNames = [...]string{
+	KindEIO:     "eio",
+	KindENOSPC:  "enospc",
+	KindTorn:    "torn-write",
+	KindShort:   "short-write",
+	KindBitFlip: "bit-flip",
+	KindSyncLie: "sync-lie",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Kinds returns every injectable fault kind, in decision order.
+func Kinds() []Kind {
+	return []Kind{KindEIO, KindENOSPC, KindTorn, KindShort, KindBitFlip, KindSyncLie}
+}
+
+// Error is an injected fault, wrapping the errno a real filesystem would
+// have produced so errors.Is(err, syscall.ENOSPC) etc. keep working.
+type Error struct {
+	Op   Op
+	Kind Kind
+	Path string
+	Err  error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("iofault: injected %s on %s %s: %v", e.Kind, e.Op, e.Path, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Injected reports whether err is (or wraps) an injected fault, letting
+// tests distinguish planned damage from real I/O trouble.
+func Injected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// errno maps a fault kind to the error a real filesystem would surface.
+func (k Kind) errno() error {
+	switch k {
+	case KindENOSPC:
+		return syscall.ENOSPC
+	case KindShort:
+		return io.ErrShortWrite
+	default:
+		return syscall.EIO
+	}
+}
+
+// ErrStaleHandle is returned by file operations on handles that predate
+// a Crash: the "process" that opened them is dead, and its descriptors
+// must not touch the rebuilt filesystem.
+var ErrStaleHandle = errors.New("iofault: file handle predates crash")
+
+// File is the open-file surface the store needs: append-style writes,
+// durability, and in-place truncation for undoing failed appends.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface the store needs. Implementations must be
+// safe for concurrent use.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file (os.ReadFile semantics).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes the file at name.
+	Truncate(name string, size int64) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so the entries inside it (creates,
+	// renames, removes) survive a crash.
+	SyncDir(dir string) error
+	// Stat stats a file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// SyncDir fsyncs the directory itself, making entry operations durable.
+// Filesystems that reject directory fsync (EINVAL on some platforms)
+// are treated as already durable.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil && !errors.Is(serr, syscall.EINVAL) {
+		return serr
+	}
+	if serr == nil && cerr != nil {
+		return cerr
+	}
+	return nil
+}

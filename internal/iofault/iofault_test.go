@@ -1,0 +1,391 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// always returns a plan that injects the given kind on every eligible
+// operation, and nothing else.
+func always(kind Kind) Plan {
+	return Plan{Seed: 1, Rates: map[Kind]float64{kind: 1}}
+}
+
+func openAppend(t *testing.T, fsys FS, path string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f := openAppend(t, fsys, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ = fsys.ReadFile(path); string(data) != "he" {
+		t.Fatalf("after truncate = %q", data)
+	}
+}
+
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	for _, kind := range []Kind{KindEIO, KindENOSPC, KindTorn, KindShort} {
+		fa := NewFaulty(OS(), always(kind))
+		path := filepath.Join(t.TempDir(), "f")
+		f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			// The create itself may be the injected op for EIO-class kinds.
+			if !Injected(err) {
+				t.Errorf("%s: open error not typed: %v", kind, err)
+			}
+			continue
+		}
+		_, err = f.Write([]byte("payload"))
+		if err == nil {
+			t.Errorf("%s: write did not fail", kind)
+			continue
+		}
+		if !Injected(err) {
+			t.Errorf("%s: error not typed: %v", kind, err)
+		}
+		switch kind {
+		case KindENOSPC:
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Errorf("ENOSPC not unwrappable: %v", err)
+			}
+		case KindShort:
+			if !errors.Is(err, io.ErrShortWrite) {
+				t.Errorf("short write not unwrappable: %v", err)
+			}
+		case KindEIO, KindTorn:
+			if !errors.Is(err, syscall.EIO) {
+				t.Errorf("EIO not unwrappable: %v", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("%s: close: %v", kind, err)
+		}
+	}
+}
+
+func TestTornWritePersistsOnlyAPrefix(t *testing.T) {
+	fa := NewFaulty(OS(), Plan{Seed: 7, Rates: map[Kind]float64{KindTorn: 1}})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes", n, len(payload))
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(data, payload[:n]) {
+		t.Fatalf("on-disk %q, want prefix %q", data, payload[:n])
+	}
+}
+
+func TestBitFlipIsSilent(t *testing.T) {
+	fa := NewFaulty(OS(), Plan{Seed: 3, Rates: map[Kind]float64{KindBitFlip: 1}})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("all good records here")
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("bit-flip write: n=%d err=%v, want silent success", n, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(data, payload) {
+		t.Fatal("bit flip did not corrupt the payload")
+	}
+	diff := 0
+	for i := range data {
+		diff += popcount(data[i] ^ payload[i])
+	}
+	if diff != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// TestCrashLosesUnsyncedData pins the power-loss model: synced bytes
+// survive Crash, unsynced bytes may not (beyond a torn prefix).
+func TestCrashLosesUnsyncedData(t *testing.T) {
+	fa := NewFaulty(OS(), Plan{Seed: 11})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	// No sync: the tail is not durable.
+	if err := fa.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("durable|")) {
+		t.Fatalf("synced prefix lost: %q", data)
+	}
+	if !bytes.HasPrefix([]byte("durable|volatile"), data) {
+		t.Fatalf("post-crash content %q is not a prefix of what was written", data)
+	}
+	// The dead process's handle must not touch the rebuilt filesystem.
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrStaleHandle) {
+		t.Errorf("stale write err = %v, want ErrStaleHandle", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrStaleHandle) {
+		t.Errorf("stale sync err = %v, want ErrStaleHandle", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrStaleHandle) {
+		t.Errorf("stale close err = %v, want ErrStaleHandle", err)
+	}
+}
+
+// TestCrashLosesFileWithoutDirSync pins the directory-entry model: a
+// created file whose parent directory was never fsync'd vanishes at
+// crash even if the file's own content was fsync'd. This is exactly the
+// failure the journal's SyncDir-on-create defends against.
+func TestCrashLosesFileWithoutDirSync(t *testing.T) {
+	fa := NewFaulty(OS(), Plan{Seed: 5})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: the entry is not durable.
+	if err := fa.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("file without durable dir entry survived crash: %v", err)
+	}
+}
+
+// TestSyncLieLosesDataAtCrash pins the lying-fsync model: Sync reports
+// success, but the data still disappears at the next crash.
+func TestSyncLieLosesDataAtCrash(t *testing.T) {
+	fa := NewFaulty(OS(), always(KindSyncLie))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("believed durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync returned %v, want nil", err)
+	}
+	if err := fa.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The entry is durable (SyncDir) but the content never was: at most a
+	// torn prefix survives, never the full "durable" claim.
+	if !bytes.HasPrefix([]byte("believed durable"), data) {
+		t.Fatalf("post-crash content %q not a prefix of the lied-about write", data)
+	}
+}
+
+// TestRenameNotDurableUntilDirSync pins rename semantics: without a
+// directory fsync, a crash rolls the rename back.
+func TestRenameNotDurableUntilDirSync(t *testing.T) {
+	for _, dirSync := range []bool{false, true} {
+		fa := NewFaulty(OS(), Plan{Seed: 9})
+		dir := t.TempDir()
+		oldp, newp := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+		writeDurable(t, fa, dir, oldp, "original")
+		writeDurable(t, fa, dir, newp, "replaced")
+		tmp := filepath.Join(dir, "tmp")
+		writeSynced(t, fa, tmp, "incoming")
+		if err := fa.Rename(tmp, newp); err != nil {
+			t.Fatal(err)
+		}
+		if dirSync {
+			if err := fa.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fa.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(newp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "replaced"
+		if dirSync {
+			want = "incoming"
+		}
+		if string(data) != want {
+			t.Errorf("dirSync=%v: post-crash target = %q, want %q", dirSync, data, want)
+		}
+	}
+}
+
+func writeDurable(t *testing.T, fa *Faulty, dir, path, content string) {
+	t.Helper()
+	writeSynced(t, fa, path, content)
+	if err := fa.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSynced(t *testing.T, fa *Faulty, path, content string) {
+	t.Helper()
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreexistingFilesAreAdopted pins lazy adoption: files that predate
+// the Faulty wrapper are durable, like state from an earlier clean run.
+func TestPreexistingFilesAreAdopted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("from before"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fa := NewFaulty(OS(), Plan{Seed: 2})
+	if data, err := fa.ReadFile(path); err != nil || string(data) != "from before" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fa.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || string(data) != "from before" {
+		t.Fatalf("pre-existing file did not survive crash: %q, %v", data, err)
+	}
+}
+
+// TestPlanIsDeterministic runs the same operation sequence under the
+// same seed twice and demands identical fault decisions and identical
+// on-disk bytes — the property that makes torture failures reproducible.
+func TestPlanIsDeterministic(t *testing.T) {
+	run := func() (map[Kind]int, []byte) {
+		fa := NewFaulty(OS(), UniformPlan(42, 0.3))
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f")
+		var f File
+		for i := 0; i < 50; i++ {
+			if f == nil {
+				var err error
+				f, err = fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					continue
+				}
+			}
+			_, _ = f.Write([]byte(fmt.Sprintf("record-%02d\n", i)))
+			_ = f.Sync()
+			if i%10 == 0 {
+				_ = fa.SyncDir(dir)
+			}
+		}
+		if f != nil {
+			_ = f.Close()
+		}
+		data, _ := os.ReadFile(path)
+		return fa.Injected(), data
+	}
+	counts1, data1 := run()
+	counts2, data2 := run()
+	if fmt.Sprint(counts1) != fmt.Sprint(counts2) {
+		t.Errorf("fault counts differ across identical runs: %v vs %v", counts1, counts2)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("on-disk bytes differ across identical runs:\n%q\n%q", data1, data2)
+	}
+	total := 0
+	for _, n := range counts1 {
+		total += n
+	}
+	if total == 0 {
+		t.Error("uniform 0.3 plan injected nothing over 100+ operations")
+	}
+}

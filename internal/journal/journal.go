@@ -1,17 +1,30 @@
-// Package journal implements the write-ahead run journal that makes
-// experiment sweeps crash-safe. Every simulation run is identified by a
-// deterministic content hash of (kernel, compiler options, machine
-// configuration, seed); the engine appends a "started" record before a
-// run and a terminal "done"/"failed"/"skipped" record after it, each
-// fsync'd, so that a sweep killed at any instruction boundary can be
-// resumed: completed runs replay from the journal, in-flight runs (a
-// "started" without a terminal record) re-execute, and the final report
-// is byte-identical to what an uninterrupted sweep would have produced.
+// Package journal implements the durable result store behind crash-safe
+// experiment sweeps: a write-ahead run journal whose records double as a
+// persistent, content-addressed result cache. Every simulation run is
+// identified by a deterministic content hash of (kernel, compiler
+// options, machine configuration, seed); the engine appends a "started"
+// record before a run and a terminal "done"/"failed"/"skipped" record
+// after it, each fsync'd, so that a sweep killed at any instruction
+// boundary can be resumed: completed runs replay from the journal,
+// in-flight runs re-execute, and the final report is byte-identical to
+// what an uninterrupted sweep would have produced.
 //
-// The journal is a JSONL file, one record per line. A crash mid-append
-// can tear the final line; Decode tolerates exactly that — a malformed
-// *last* line is dropped and reported via the torn flag, while a
-// malformed interior line is corruption and fails with ErrBadRecord.
+// The file is line-oriented with two record formats, detected per line:
+//
+//	v1 ("spear-journal/1"): one bare JSON object per line — the seed
+//	format, readable forever.
+//	v2 ("spear-journal/2"): "2 <len> <crc32c> <json>" — the JSON payload
+//	is length-framed and checksummed (CRC32-Castagnoli), so torn tails,
+//	bit flips, and any other media damage are detected per record.
+//
+// New journals carry a "spear-journal/2" header line and append v2
+// frames; appends to a v1 file also use v2 frames (the reader mixes
+// freely). Damage is contained, never fatal: a malformed final line is a
+// torn append and is dropped, any other damaged record is quarantined —
+// skipped by the lenient reader, and moved to a ".quarantine" sidecar by
+// Repair so the store self-heals while preserving the evidence. All I/O
+// goes through an internal/iofault filesystem, so every failure mode the
+// package claims to survive is injectable and deterministic in tests.
 package journal
 
 import (
@@ -22,9 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
+	"time"
+
+	"spear/internal/iofault"
 )
 
 // FileName is the journal file inside the journal directory.
@@ -95,9 +113,48 @@ func Hash(parts ...string) string {
 	h := sha256.New()
 	for _, p := range parts {
 		fmt.Fprintf(h, "%d:", len(p))
-		io.WriteString(h, p)
+		_, _ = io.WriteString(h, p) // hash.Hash never errors
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Config tunes a Writer's durability machinery. The zero value selects
+// the real filesystem and production defaults.
+type Config struct {
+	// FS is the filesystem the journal lives on (nil = the real one).
+	// Tests substitute an iofault.Faulty to inject I/O failures.
+	FS iofault.FS
+	// Events receives storage-health notifications (nil = dropped). The
+	// callback may fire from the writer goroutine.
+	Events EventFunc
+	// CommitRetries is the total number of attempts a group commit makes
+	// before failing its appends (default 3). Between attempts the file
+	// is truncated back to the last durable offset, so a torn write from
+	// a failed attempt never leaks into the journal.
+	CommitRetries int
+	// NospcBackoff is the pause before retrying a commit that failed
+	// with ENOSPC, giving the operator (or a log rotator) a chance to
+	// free space (default 50ms).
+	NospcBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.FS == nil {
+		c.FS = iofault.OS()
+	}
+	if c.CommitRetries <= 0 {
+		c.CommitRetries = 3
+	}
+	if c.NospcBackoff <= 0 {
+		c.NospcBackoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+func (c Config) event(e Event) {
+	if c.Events != nil {
+		c.Events(e)
+	}
 }
 
 // Writer appends records to the journal file, fsync'ing each one so that
@@ -110,12 +167,22 @@ func Hash(parts ...string) string {
 // roughly one fsync per disk flush rather than one per run. Records from
 // concurrent runs may interleave in any order; Replay keys records by
 // content hash, so journal order never matters for resume.
+//
+// Failed commits are retried: the file is truncated back to the last
+// durable offset (undoing any torn write), ENOSPC waits out a backoff,
+// and each recovery emits a typed Event so degraded storage is visible
+// in telemetry.
 type Writer struct {
 	mu     sync.Mutex // guards closed and the send into reqs
 	closed bool
 	reqs   chan appendReq
 	done   chan struct{} // closed when the writer goroutine exits
-	f      *os.File
+
+	cfg  Config
+	fs   iofault.FS
+	f    iofault.File
+	path string
+	off  int64 // bytes known durably committed; failed commits truncate back to it
 }
 
 // appendReq is one marshalled line awaiting the writer goroutine; errc
@@ -126,29 +193,63 @@ type appendReq struct {
 }
 
 // Open opens (creating the directory if needed) the journal in dir for
-// appending. With truncate, any existing journal is discarded first —
-// the caller is starting a fresh sweep rather than resuming one. When
-// resuming, a torn tail left by a crash mid-append is trimmed so that
-// new records never concatenate onto torn garbage.
+// appending, on the real filesystem with default durability settings.
 func Open(dir string, truncate bool) (*Writer, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenConfig(dir, truncate, Config{})
+}
+
+// OpenConfig opens the journal in dir for appending. With truncate, any
+// existing journal is discarded first — the caller is starting a fresh
+// sweep rather than resuming one. When resuming, a torn tail left by a
+// crash mid-append is trimmed so that new records never concatenate onto
+// torn garbage (interior corruption is left for Repair). A fresh journal
+// starts with the spear-journal/2 header, and the parent directory is
+// fsync'd after create so the file itself — not just its records —
+// survives a crash.
+func OpenConfig(dir string, truncate bool, cfg Config) (*Writer, error) {
+	cfg = cfg.withDefaults()
+	fsys := cfg.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	path := filepath.Join(dir, FileName)
 	if !truncate {
-		if err := trimTornTail(path); err != nil {
+		if err := trimTornTail(fsys, path); err != nil {
 			return nil, err
 		}
+	}
+	fresh := truncate
+	if _, err := fsys.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		fresh = true
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if truncate {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	w := &Writer{f: f, reqs: make(chan appendReq, 64), done: make(chan struct{})}
+	w := &Writer{cfg: cfg, fs: fsys, f: f, path: path, reqs: make(chan appendReq, 64), done: make(chan struct{})}
+	if fresh {
+		if err := w.commitBytes([]byte(Header + "\n")); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("journal: writing header: %w", err)
+		}
+	} else {
+		st, err := fsys.Stat(path)
+		if err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		w.off = st.Size()
+	}
+	// Per-record fsyncs are worthless if a crash right after create can
+	// lose the whole file: make the directory entry durable too.
+	if err := fsys.SyncDir(dir); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: fsync parent dir: %w", err)
+	}
 	go w.serve()
 	return w, nil
 }
@@ -184,27 +285,63 @@ func (w *Writer) serve() {
 // commit writes a batch of lines and fsyncs once, then acks every
 // requester with the shared outcome. Lines are concatenated into a
 // single Write: a crash can truncate the write but never reorder it, so
-// at most the batch's final surviving line is torn — exactly what Decode
-// tolerates.
+// at most the batch's final surviving line is torn — exactly what the
+// reader tolerates.
 func (w *Writer) commit(batch []appendReq) {
 	var buf []byte
 	for _, r := range batch {
 		buf = append(buf, r.line...)
 	}
-	_, err := w.f.Write(buf)
-	if err == nil {
-		err = w.f.Sync()
-	}
+	err := w.commitBytes(buf)
 	for _, r := range batch {
 		r.errc <- err
 	}
 }
 
+// commitBytes makes buf durable at the end of the journal, retrying
+// recoverable failures. Every retry first truncates the file back to the
+// last durable offset, so a torn write from the failed attempt can never
+// surface as journal content; ENOSPC additionally waits out the
+// configured backoff. On success the durable offset advances.
+func (w *Writer) commitBytes(buf []byte) error {
+	var err error
+	for attempt := 1; attempt <= w.cfg.CommitRetries; attempt++ {
+		if attempt > 1 {
+			if errors.Is(err, syscall.ENOSPC) {
+				w.cfg.event(Event{Kind: EventNospcBackoff, Path: w.path, Attempt: attempt - 1, Err: err})
+				time.Sleep(w.cfg.NospcBackoff)
+			} else {
+				w.cfg.event(Event{Kind: EventCommitRetry, Path: w.path, Attempt: attempt - 1, Err: err})
+			}
+			if terr := w.f.Truncate(w.off); terr != nil {
+				// Even the undo failed; never write on top of a torn tail —
+				// burn the attempt and retry the whole recovery.
+				err = terr
+				continue
+			}
+		}
+		_, werr := w.f.Write(buf)
+		if werr == nil {
+			werr = w.f.Sync()
+		}
+		if werr == nil {
+			w.off += int64(len(buf))
+			return nil
+		}
+		err = werr
+	}
+	// Out of retries: scrub any torn bytes the final attempt left behind
+	// so the on-disk journal stays parseable (best effort — the reader
+	// tolerates a torn tail regardless).
+	_ = w.f.Truncate(w.off)
+	return err
+}
+
 // trimTornTail truncates any bytes after the last newline: under the
 // one-Write-per-line discipline they can only be a torn final append.
-func trimTornTail(path string) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
+func trimTornTail(fsys iofault.FS, path string) error {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
@@ -214,7 +351,7 @@ func trimTornTail(path string) error {
 	if cut == len(data) {
 		return nil
 	}
-	if err := os.Truncate(path, int64(cut)); err != nil {
+	if err := fsys.Truncate(path, int64(cut)); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
@@ -230,11 +367,10 @@ func (w *Writer) Append(rec Record) error {
 	if err := rec.validate(); err != nil {
 		return err
 	}
-	line, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	line = append(line, '\n')
 	errc := make(chan error, 1)
 	// The lock covers the closed check and the send together so Close can
 	// never close reqs between them (a send on a closed channel panics).
@@ -243,7 +379,7 @@ func (w *Writer) Append(rec Record) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
-	w.reqs <- appendReq{line: line, errc: errc}
+	w.reqs <- appendReq{line: frame(payload), errc: errc}
 	w.mu.Unlock()
 	if err := <-errc; err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -268,38 +404,6 @@ func (w *Writer) Close() error {
 	return w.f.Close()
 }
 
-// Decode reads every record from a journal stream. A final line that is
-// incomplete or unparseable — the signature of a crash mid-append — is
-// dropped and reported through torn; any other malformed line fails with
-// an error wrapping ErrBadRecord.
-func Decode(r io.Reader) (recs []Record, torn bool, err error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, false, fmt.Errorf("journal: %w", err)
-	}
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		perr := json.Unmarshal(line, &rec)
-		if perr == nil {
-			perr = rec.validate()
-		}
-		if perr != nil {
-			if i == len(lines)-1 || (i == len(lines)-2 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0) {
-				// Torn tail: the crash interrupted the final append.
-				return recs, true, nil
-			}
-			return nil, false, fmt.Errorf("%w: line %d: %v", ErrBadRecord, i+1, perr)
-		}
-		recs = append(recs, rec)
-	}
-	return recs, false, nil
-}
-
 // State is the replayed journal: what resume needs to know per key.
 type State struct {
 	// Terminal maps each key to its last done/failed/skipped record;
@@ -310,6 +414,9 @@ type State struct {
 	InFlight map[string]Record
 	// Torn records that the final journal line was torn by a crash.
 	Torn bool
+	// Quarantined counts corrupt records the lenient loader skipped;
+	// their runs simply re-execute. Repair moves them to the sidecar.
+	Quarantined int
 }
 
 // Replay folds a record sequence into resume state.
@@ -330,20 +437,29 @@ func Replay(recs []Record, torn bool) *State {
 	return st
 }
 
-// Load reads and replays the journal in dir. A missing journal file
-// yields an empty state: resuming a sweep that never started is a no-op.
+// Load reads and replays the journal in dir on the real filesystem.
 func Load(dir string) (*State, error) {
-	f, err := os.Open(filepath.Join(dir, FileName))
-	if errors.Is(err, os.ErrNotExist) {
+	return LoadFS(iofault.OS(), dir)
+}
+
+// LoadFS reads and replays the journal in dir. A missing journal file
+// yields an empty state: resuming a sweep that never started is a no-op.
+// Loading is lenient: corrupt records are skipped (and counted in
+// State.Quarantined), never fatal — a damaged store is degraded, not
+// lost.
+func LoadFS(fsys iofault.FS, dir string) (*State, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, FileName))
+	if errors.Is(err, fs.ErrNotExist) {
 		return Replay(nil, false), nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close()
-	recs, torn, err := Decode(f)
+	sr, err := Scan(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
-	return Replay(recs, torn), nil
+	st := Replay(sr.Recs, sr.Torn)
+	st.Quarantined = len(sr.Bad)
+	return st, nil
 }

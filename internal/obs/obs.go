@@ -27,6 +27,13 @@ const (
 	KindFault
 	KindSessionBegin
 	KindSessionEnd
+	// Storage-health kinds: degraded or damaged journal I/O surfaced by
+	// the harness (DESIGN.md §12). Cycle is 0 — these are host events, not
+	// pipeline events; Arg carries the retry attempt or record count.
+	KindIORetry
+	KindIOBackoff
+	KindQuarantine
+	KindIORepair
 )
 
 var kindNames = [...]string{
@@ -41,6 +48,10 @@ var kindNames = [...]string{
 	KindFault:        "fault",
 	KindSessionBegin: "session-begin",
 	KindSessionEnd:   "session-end",
+	KindIORetry:      "io-retry",
+	KindIOBackoff:    "io-backoff",
+	KindQuarantine:   "quarantine",
+	KindIORepair:     "io-repair",
 }
 
 func (k Kind) String() string {
