@@ -19,6 +19,7 @@ package spear
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"testing"
@@ -28,6 +29,7 @@ import (
 	"spear/internal/cpu"
 	"spear/internal/emu"
 	"spear/internal/harness"
+	"spear/internal/journal"
 	"spear/internal/mem"
 	"spear/internal/workloads"
 )
@@ -218,6 +220,97 @@ func BenchmarkSweepParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ------------------------------------------------------------ per-stage
+//
+// The per-stage suite breaks the sweep's wall clock into its three cost
+// centres — the simulator's fetch→RUU→commit hot loop, the write-ahead
+// journal's group-committed appends, and report serialization — so a
+// regression flagged by `spearstat -bench` can be localized with
+// `go test -bench 'Stage' -benchtime 10x`. Every benchmark reports
+// allocations: the hot loop and the journal append path are supposed to
+// stay allocation-light, and ReportAllocs makes a drift visible in the
+// same run that measures time.
+
+// BenchmarkStageHotLoop measures the cycle loop alone (fetch, dispatch,
+// extract, issue, commit) on the mcf kernel under the SPEAR-128 machine,
+// reported as ns per simulated cycle. This is the denominator of the
+// cpu.stage.* attribution in BENCH documents.
+func BenchmarkStageHotLoop(b *testing.B) {
+	s := sharedSuite(b)
+	var prep *harness.Prepared
+	for _, p := range s.Prepared {
+		if p.Kernel.Name == "mcf" {
+			prep = p
+		}
+	}
+	if prep == nil {
+		b.Skip("mcf not prepared")
+	}
+	cfg := cpu.SPEARConfig(128, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := cpu.Run(prep.Ref, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+}
+
+// BenchmarkStageJournalAppend measures the write-ahead journal's append
+// path — marshal, CRC frame, group commit, fsync — per record pair
+// (started + done), the per-run journal overhead of a sweep.
+func BenchmarkStageJournalAppend(b *testing.B) {
+	dir := b.TempDir()
+	w, err := journal.Open(dir, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	result := []byte(`{"cycles": 123456, "ipc": 1.23}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-%d", i)
+		if err := w.Append(journal.Record{Status: journal.StatusStarted, Key: key, Kernel: "mcf", Config: "SPEAR-128"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Append(journal.Record{Status: journal.StatusDone, Key: key, Kernel: "mcf", Config: "SPEAR-128", Result: result}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageReportSerialize measures turning a finished sweep into
+// its canonical JSON document — the byte-deterministic artifact every
+// downstream tool consumes.
+func BenchmarkStageReportSerialize(b *testing.B) {
+	sweepSuiteOnce.Do(func() {
+		opts := harness.DefaultOptions()
+		opts.Kernels = []string{"mcf", "field", "pointer"}
+		sweepSuiteVal, sweepSuiteErr = harness.NewSuite(opts)
+	})
+	if sweepSuiteErr != nil {
+		b.Fatal(sweepSuiteErr)
+	}
+	rep := sweepSuiteVal.SweepReport("bench-serialize", harness.StandardConfigs())
+	for _, row := range rep.Rows {
+		if row.Error != "" || row.Skipped != "" {
+			b.Fatalf("%s on %s: error %q, skipped %q", row.Kernel, row.Config, row.Error, row.Skipped)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -11,12 +11,24 @@
 //	spearbench -json -journal sweep.journal -resume > report.json
 //	spearbench -fsck -journal sweep.journal
 //	spearbench -compact -journal sweep.journal
+//	spearbench -json -perf-out BENCH_dev.json > report.json
+//	spearbench -json -autoprofile profiles/ > report.json
+//	spearbench -json -debug-addr localhost:6060 -journal sweep.journal > report.json
 //
 // With -json or -csv the bench instead sweeps every kernel across the five
 // machine models and emits one machine-readable report on stdout (schema
 // spear-report/1, or /2 when reliability fields are present); render it
 // with spearstat. -cpuprofile and -memprofile write pprof profiles of the
 // sweep itself.
+//
+// Performance observability (sweep mode): -perf-out captures the sweep
+// as a spear-bench/1 baseline document (per-stage simulator host time,
+// journal I/O, allocs, committed-instrs/sec; diff two with spearstat
+// -bench); -autoprofile re-runs the sweep's slowest pair under the CPU
+// profiler into a directory; -debug-addr serves /debug/pprof/ and
+// /metrics live. Any of these attaches the perf registry, which also
+// stamps Result.Timing onto every row — perf-enabled reports carry host
+// timing and so are not byte-reproducible across runs.
 //
 // Sweeps execute their (kernel, machine) pairs on a bounded worker pool
 // of -parallel goroutines (default GOMAXPROCS). The report's rows keep
@@ -76,10 +88,12 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"spear/internal/cpu"
 	"spear/internal/harness"
 	"spear/internal/journal"
+	"spear/internal/perf"
 	"spear/internal/workloads"
 )
 
@@ -113,6 +127,9 @@ func main() {
 	compact := flag.Bool("compact", false, "fold the journal in -journal down to each run's latest record and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	perfOut := flag.String("perf-out", "", "with -json/-csv: write a spear-bench/1 perf-baseline document to this file (diff with spearstat -bench)")
+	autoProf := flag.String("autoprofile", "", "with -json/-csv: after the sweep, re-run its slowest pair under the CPU profiler and write cpu.pprof/heap.pprof into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof/ and /metrics (JSON registry snapshot) on this address for live inspection")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage: spearbench [flags]\n\nFlags:\n")
 		flag.PrintDefaults()
@@ -154,7 +171,12 @@ written); a second forces an immediate exit.
 	}
 
 	err := profiled(*cpuProfile, *memProfile, func() error {
-		return run(ctx, *experiment, *kernels, *parallel, *seed, *verbose, *asJSON, *asCSV, *journalDir, *resume)
+		return run(ctx, runOptions{
+			experiment: *experiment, kernels: *kernels, parallel: *parallel, seed: *seed,
+			verbose: *verbose, asJSON: *asJSON, asCSV: *asCSV,
+			journalDir: *journalDir, resume: *resume,
+			perfOut: *perfOut, autoProfile: *autoProf, debugAddr: *debugAddr,
+		})
 	})
 	switch {
 	case err == nil:
@@ -234,15 +256,32 @@ func profiled(cpuProfile, memProfile string, f func() error) error {
 	return f()
 }
 
-func run(ctx context.Context, experiment, kernels string, parallel int, seed int64, verbose, asJSON, asCSV bool, journalDir string, resume bool) error {
+// runOptions bundles the flag values run needs.
+type runOptions struct {
+	experiment  string
+	kernels     string
+	parallel    int
+	seed        int64
+	verbose     bool
+	asJSON      bool
+	asCSV       bool
+	journalDir  string
+	resume      bool
+	perfOut     string
+	autoProfile string
+	debugAddr   string
+}
+
+func run(ctx context.Context, ro runOptions) error {
+	experiment, seed := ro.experiment, ro.seed
 	opts := harness.DefaultOptions()
-	opts.Parallel = parallel
-	opts.Seed = seed
-	if verbose {
+	opts.Parallel = ro.parallel
+	opts.Seed = ro.seed
+	if ro.verbose {
 		opts.Log = os.Stderr
 	}
-	if kernels != "" {
-		for _, name := range strings.Split(kernels, ",") {
+	if ro.kernels != "" {
+		for _, name := range strings.Split(ro.kernels, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := workloads.ByName(name); !ok {
 				return fmt.Errorf("unknown kernel %q (known: %s)", name, strings.Join(workloads.Names(), ", "))
@@ -250,12 +289,31 @@ func run(ctx context.Context, experiment, kernels string, parallel int, seed int
 			opts.Kernels = append(opts.Kernels, name)
 		}
 	}
-	if resume && journalDir == "" {
+	if ro.resume && ro.journalDir == "" {
 		return fmt.Errorf("-resume requires -journal <dir>")
 	}
-	if journalDir != "" && !asJSON && !asCSV {
+	if ro.journalDir != "" && !ro.asJSON && !ro.asCSV {
 		return fmt.Errorf("-journal applies to sweep mode; add -json or -csv")
 	}
+	if (ro.perfOut != "" || ro.autoProfile != "") && !ro.asJSON && !ro.asCSV {
+		return fmt.Errorf("-perf-out/-autoprofile apply to sweep mode; add -json or -csv")
+	}
+
+	// Any perf surface turns the registry on; it is shared by the
+	// simulator, the harness spans, the journal, and /metrics.
+	var reg *perf.Registry
+	if ro.perfOut != "" || ro.autoProfile != "" || ro.debugAddr != "" {
+		reg = perf.NewRegistry()
+		opts.Perf = reg
+	}
+	if ro.debugAddr != "" {
+		addr, err := startDebugServer(ro.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spearbench: debug server on http://%s (/debug/pprof/, /metrics)\n", addr)
+	}
+
 	suite, err := harness.NewSuiteContext(ctx, opts)
 	if err != nil {
 		return err
@@ -265,22 +323,22 @@ func run(ctx context.Context, experiment, kernels string, parallel int, seed int
 	}
 	out := io.Writer(os.Stdout)
 
-	if asJSON || asCSV {
-		if asJSON && asCSV {
+	if ro.asJSON || ro.asCSV {
+		if ro.asJSON && ro.asCSV {
 			return fmt.Errorf("-json and -csv are mutually exclusive")
 		}
 		var sj *harness.SweepJournal
-		if journalDir != "" {
-			jcfg := harness.SweepJournalConfig{}
-			if verbose {
+		if ro.journalDir != "" {
+			jcfg := harness.SweepJournalConfig{Perf: reg}
+			if ro.verbose {
 				jcfg.Log = os.Stderr
 			}
-			sj, err = harness.OpenSweepJournalConfig(journalDir, resume, jcfg)
+			sj, err = harness.OpenSweepJournalConfig(ro.journalDir, ro.resume, jcfg)
 			if err != nil {
 				return err
 			}
 			defer sj.Close()
-			if resume {
+			if ro.resume {
 				replayed, torn := sj.Replayed()
 				fmt.Fprintf(os.Stderr, "spearbench: resuming: %d completed runs replayed from the journal", replayed)
 				if torn {
@@ -292,14 +350,31 @@ func run(ctx context.Context, experiment, kernels string, parallel int, seed int
 				fmt.Fprintln(os.Stderr)
 			}
 		}
-		rep := suite.SweepReportContext(ctx, "sweep", harness.StandardConfigs(), sj)
-		if asJSON {
+		mallocs0, bytes0 := sweepMemStats()
+		sweepStart := time.Now()
+		cfgs := harness.StandardConfigs()
+		rep := suite.SweepReportContext(ctx, "sweep", cfgs, sj)
+		st := benchStats{wall: time.Since(sweepStart)}
+		mallocs1, bytes1 := sweepMemStats()
+		st.allocs, st.heapBytes = mallocs1-mallocs0, bytes1-bytes0
+		if ro.asJSON {
 			err = rep.WriteJSON(out)
 		} else {
 			err = rep.WriteCSV(out)
 		}
 		if err != nil {
 			return err
+		}
+		if ro.perfOut != "" && !rep.Interrupted {
+			if err := writeBenchDoc(ro.perfOut, reg, rep, st); err != nil {
+				return fmt.Errorf("perf-out: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "spearbench: wrote perf baseline %s\n", ro.perfOut)
+		}
+		if ro.autoProfile != "" && !rep.Interrupted {
+			if err := autoProfile(ctx, suite, cfgs, ro.autoProfile); err != nil {
+				return err
+			}
 		}
 		if rep.Interrupted {
 			return errPartial

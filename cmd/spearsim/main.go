@@ -16,6 +16,8 @@
 // -event-cycles bounds the stream to the first N cycles. -metrics N samples
 // interval statistics every N cycles and prints the series after the run.
 // -cpuprofile/-memprofile write pprof profiles of the simulator itself.
+// -perf times the simulator's own pipeline stages (host nanoseconds per
+// stage) and prints the attribution table with a coverage percentage.
 //
 // Machines: baseline, SPEAR-128, SPEAR-256, SPEAR.sf-128, SPEAR.sf-256.
 // With -workload, the program is first compiled with the SPEAR compiler on
@@ -38,11 +40,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"spear/internal/cpu"
 	"spear/internal/harness"
 	"spear/internal/mem"
 	"spear/internal/obs"
+	"spear/internal/perf"
 	"spear/internal/prog"
 	"spear/internal/stats"
 	"spear/internal/workloads"
@@ -66,6 +70,7 @@ type options struct {
 	eventsBinary           bool
 	eventCycles            uint64
 	metrics                uint64
+	perf                   bool
 }
 
 func main() {
@@ -83,6 +88,7 @@ func main() {
 	flag.BoolVar(&o.eventsBinary, "events-binary", false, "write -events in the compact binary encoding instead of JSONL")
 	flag.Uint64Var(&o.eventCycles, "event-cycles", 0, "bound the event stream to the first N cycles (0 = whole run)")
 	flag.Uint64Var(&o.metrics, "metrics", 0, "sample interval metrics every N cycles and print the series")
+	flag.BoolVar(&o.perf, "perf", false, "time the simulator's own pipeline stages and print the attribution table")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -179,6 +185,9 @@ func run(ctx context.Context, o options) error {
 		cfg.MaxCycles = o.maxCycles
 	}
 	cfg.MetricsInterval = o.metrics
+	if o.perf {
+		cfg.Perf = perf.NewRegistry()
+	}
 	if o.events != "" {
 		f, err := os.Create(o.events)
 		if err != nil {
@@ -234,6 +243,7 @@ func run(ctx context.Context, o options) error {
 	}
 	printResult(p, res)
 	printIntervals(res)
+	printPerf(res)
 	return nil
 }
 
@@ -293,6 +303,36 @@ func printResult(p *prog.Program, r *cpu.Result) {
 			pf.Fills, pf.Timely, pf.Late, pf.Useless, pf.Harmful, len(pf.PerPC))
 	}
 	fmt.Printf("final state hash   %#016x\n", r.FinalStateHash)
+}
+
+// printPerf renders the -perf stage-timing attribution: host nanoseconds
+// spent in each simulator pipeline stage, each stage's share of the run
+// loop, and how much of the loop the buckets explain in total.
+func printPerf(r *cpu.Result) {
+	if r.Timing == nil {
+		return
+	}
+	tm := r.Timing
+	t := stats.NewTable("stage", "host time", "ns/cycle", "% of loop")
+	for _, sg := range tm.Stages {
+		pct := 0.0
+		if tm.LoopNanos > 0 {
+			pct = 100 * float64(sg.Nanos) / float64(tm.LoopNanos)
+		}
+		perCycle := 0.0
+		if r.Cycles > 0 {
+			perCycle = float64(sg.Nanos) / float64(r.Cycles)
+		}
+		t.AddRow(sg.Name, time.Duration(sg.Nanos).Round(time.Microsecond).String(), perCycle, pct)
+	}
+	coverage := 0.0
+	if tm.LoopNanos > 0 {
+		coverage = 100 * float64(tm.StageSum()) / float64(tm.LoopNanos)
+	}
+	fmt.Printf("\nsimulator self-timing (wall %v, loop %v)\n%s",
+		time.Duration(tm.WallNanos).Round(time.Microsecond),
+		time.Duration(tm.LoopNanos).Round(time.Microsecond), t.String())
+	fmt.Printf("stage buckets cover %.1f%% of the run loop\n", coverage)
 }
 
 // printIntervals renders the -metrics time series as a table plus an IPC

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spear/internal/perf"
+)
+
+func writeBench(t *testing.T, path string, metrics []perf.Metric) {
+	t.Helper()
+	b := perf.NewBench("test", perf.CaptureEnv("2026-01-01T00:00:00Z", ""))
+	for _, m := range metrics {
+		b.Add(m.Name, m.Unit, m.Value, m.Better, m.ThresholdPct)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBenchComparesAndGates pins the -bench mode end to end: the
+// comparison renders, and the returned regression count drives the CI
+// exit code.
+func TestRunBenchComparesAndGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	writeBench(t, oldPath, []perf.Metric{
+		{Name: "sweep.wall.ns", Unit: "ns", Value: 100, Better: perf.LowerIsBetter, ThresholdPct: 25},
+		{Name: "sim.throughput.ips", Unit: "instrs/s", Value: 1000, Better: perf.HigherIsBetter, ThresholdPct: 20},
+	})
+	writeBench(t, newPath, []perf.Metric{
+		{Name: "sweep.wall.ns", Unit: "ns", Value: 200, Better: perf.LowerIsBetter, ThresholdPct: 25},
+		{Name: "sim.throughput.ips", Unit: "instrs/s", Value: 1100, Better: perf.HigherIsBetter, ThresholdPct: 20},
+	})
+
+	var out bytes.Buffer
+	regressed, err := runBench([]string{oldPath, newPath}, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 1 {
+		t.Errorf("regressed = %d, want 1 (wall clock doubled)", regressed)
+	}
+	s := out.String()
+	for _, want := range []string{"sweep.wall.ns", "REGRESS", "sim.throughput.ips", "FAIL: 1 metric(s) regressed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, s)
+		}
+	}
+
+	// A generous override threshold clears the gate.
+	out.Reset()
+	regressed, err = runBench([]string{oldPath, newPath}, 500, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed != 0 {
+		t.Errorf("regressed with 500%% override = %d, want 0", regressed)
+	}
+
+	// Wrong arity and unreadable files are hard errors, not exit 4.
+	if _, err := runBench([]string{oldPath}, 0, &out); err == nil {
+		t.Error("single-argument -bench did not error")
+	}
+	if _, err := runBench([]string{oldPath, filepath.Join(dir, "missing.json")}, 0, &out); err == nil {
+		t.Error("missing new document did not error")
+	}
+}

@@ -11,6 +11,7 @@
 //	spearstat -journal sweep.journal
 //	spearstat -journal sweep.journal -follow
 //	spearstat -journal sweep.journal -verify
+//	spearstat -bench BENCH_baseline.json BENCH_new.json
 //
 // The Figure 6 table is reproduced digit for digit from the JSON alone
 // (float64 values survive the round trip exactly), so `spearbench -json |
@@ -28,8 +29,15 @@
 // check as spearbench -fsck): record counts by format version, run
 // states, torn tails, and corrupt records.
 //
+// With -bench, spearstat instead compares two spear-bench/1 documents
+// (written by spearbench -perf-out) benchstat-style: per-metric old vs
+// new values, percentage deltas, and a verdict column driven by the
+// regression thresholds stored in the baseline. -bench-threshold N
+// overrides every gating threshold with a flat N%; -bench-warn reports
+// regressions without failing, for advisory CI lanes.
+//
 // Exit codes: 0 clean (or report rendered), 2 journal damaged (torn or
-// corrupt records), 1 hard failure.
+// corrupt records), 4 benchmark regression, 1 hard failure.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"spear/internal/harness"
 	"spear/internal/journal"
 	"spear/internal/mem"
+	"spear/internal/perf"
 	"spear/internal/stats"
 )
 
@@ -51,11 +60,25 @@ func main() {
 	journalDir := flag.String("journal", "", "render sweep progress from this write-ahead journal directory instead of a report")
 	follow := flag.Bool("follow", false, "with -journal: refresh the progress line every second until interrupted")
 	verify := flag.Bool("verify", false, "with -journal: walk the journal and report per-record integrity (exit 2 on damage)")
+	bench := flag.Bool("bench", false, "compare two spear-bench/1 documents: spearstat -bench old.json new.json (exit 4 on regression)")
+	benchThreshold := flag.Float64("bench-threshold", 0, "with -bench: override every gating regression threshold with this flat percentage")
+	benchWarn := flag.Bool("bench-warn", false, "with -bench: report regressions but exit 0 (advisory mode)")
 	flag.Parse()
 
 	if (*follow || *verify) && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "spearstat: -follow/-verify require -journal <dir>")
 		os.Exit(1)
+	}
+	if *bench {
+		regressed, err := runBench(flag.Args(), *benchThreshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spearstat:", err)
+			os.Exit(1)
+		}
+		if regressed > 0 && !*benchWarn {
+			os.Exit(4)
+		}
+		return
 	}
 	if *verify {
 		rep, err := journal.Fsck(nil, *journalDir)
@@ -84,6 +107,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spearstat:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench loads two spear-bench/1 documents, renders their comparison,
+// and returns how many metrics regressed past their threshold. The
+// baseline's stored thresholds gate unless overridePct > 0 replaces
+// them with a flat percentage.
+func runBench(args []string, overridePct float64, out io.Writer) (int, error) {
+	if len(args) != 2 {
+		return 0, fmt.Errorf("-bench takes exactly two documents: spearstat -bench old.json new.json")
+	}
+	old, err := perf.ReadBenchFile(args[0])
+	if err != nil {
+		return 0, err
+	}
+	new_, err := perf.ReadBenchFile(args[1])
+	if err != nil {
+		return 0, err
+	}
+	deltas := perf.Compare(old, new_, overridePct)
+	fmt.Fprint(out, perf.RenderComparison(old, new_, deltas))
+	regressed := perf.Regressions(deltas)
+	if regressed > 0 {
+		fmt.Fprintf(out, "\nFAIL: %d metric(s) regressed past threshold\n", regressed)
+	}
+	return regressed, nil
 }
 
 func run(args []string, top int, out io.Writer) error {

@@ -74,6 +74,12 @@ func progressLine(dir string) (string, error) {
 // renderProgress folds replayed journal state into one human-readable
 // progress line.
 func renderProgress(st *journal.State) string {
+	return renderProgressAt(st, time.Now().UnixNano())
+}
+
+// renderProgressAt is renderProgress with an injectable clock (Unix
+// nanoseconds) so tests are deterministic.
+func renderProgressAt(st *journal.State, now int64) string {
 	var done, failed, skipped int
 	for _, rec := range st.Terminal {
 		switch rec.Status {
@@ -111,11 +117,47 @@ func renderProgress(st *journal.State) string {
 			fmt.Fprintf(&b, " (+%d more)", extra)
 		}
 	}
+	b.WriteString(renderPace(st, done+failed+skipped, now))
 	if st.Torn {
 		b.WriteString(" | torn tail (crash mid-append; that run re-executes on resume)")
 	}
 	if st.Quarantined > 0 {
 		fmt.Fprintf(&b, " | %d corrupt records skipped (their runs re-execute on resume)", st.Quarantined)
+	}
+	return b.String()
+}
+
+// renderPace derives elapsed time, completion throughput, and an ETA
+// from the journal's record timestamps. Journals written by older
+// builds carry no timestamps, in which case the whole segment is
+// omitted. The ETA covers the runs the journal knows about — the ones
+// in flight — at the sweep's observed completion rate; runs the sweep
+// has not started yet are invisible to the journal, so the estimate is
+// a floor while the pool is still being fed.
+func renderPace(st *journal.State, terminal int, now int64) string {
+	if st.FirstStart == 0 {
+		return ""
+	}
+	// While runs are in flight the sweep is live and elapsed tracks the
+	// caller's clock; once everything is terminal, report the sweep's own
+	// span rather than time since it finished.
+	end := now
+	if len(st.InFlight) == 0 || end < st.LastEvent {
+		end = st.LastEvent
+	}
+	elapsed := time.Duration(end - st.FirstStart)
+	if elapsed <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " | elapsed %s", elapsed.Round(time.Second))
+	if terminal > 0 {
+		perMin := float64(terminal) / elapsed.Minutes()
+		fmt.Fprintf(&b, " | %.1f runs/min", perMin)
+		if n := len(st.InFlight); n > 0 {
+			eta := time.Duration(float64(n) / float64(terminal) * float64(elapsed))
+			fmt.Fprintf(&b, " | ETA ~%s", eta.Round(time.Second))
+		}
 	}
 	return b.String()
 }

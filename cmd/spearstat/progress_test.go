@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"spear/internal/journal"
 )
@@ -42,9 +43,67 @@ func TestRenderProgressCountsAndInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	line := out.String()
-	want := "sweep: 1 done, 1 failed, 1 skipped | 2 in flight: gzip/baseline, mst/SPEAR-128\n"
-	if line != want {
-		t.Errorf("progress line:\n got %q\nwant %q", line, want)
+	// Append stamps wall-clock timestamps, so the live line carries a
+	// pace segment whose exact values depend on the test's own speed;
+	// check the deterministic prefix and that pace is present.
+	want := "sweep: 1 done, 1 failed, 1 skipped | 2 in flight: gzip/baseline, mst/SPEAR-128"
+	if !strings.HasPrefix(line, want) {
+		t.Errorf("progress line:\n got %q\nwant prefix %q", line, want)
+	}
+	if !strings.Contains(line, "| elapsed ") {
+		t.Errorf("progress line missing pace segment: %q", line)
+	}
+}
+
+// TestRenderPaceDeterministic drives the pace segment with injected
+// timestamps: elapsed from the first started record, throughput from
+// terminal records per elapsed minute, and an ETA scaled by the
+// in-flight count.
+func TestRenderPaceDeterministic(t *testing.T) {
+	const sec = int64(time.Second)
+	base := int64(1_700_000_000) * sec
+	st := journal.Replay([]journal.Record{
+		{Status: journal.StatusStarted, Key: "a", Kernel: "mcf", Config: "baseline", T: base},
+		{Status: journal.StatusDone, Key: "a", Kernel: "mcf", Config: "baseline", Result: []byte(`{}`), T: base + 30*sec},
+		{Status: journal.StatusStarted, Key: "b", Kernel: "art", Config: "baseline", T: base + 5*sec},
+		{Status: journal.StatusDone, Key: "b", Kernel: "art", Config: "baseline", Result: []byte(`{}`), T: base + 60*sec},
+		{Status: journal.StatusStarted, Key: "c", Kernel: "vpr", Config: "baseline", T: base + 60*sec},
+	}, false)
+
+	// Live view 120s in: 2 terminal runs over 2 minutes = 1.0 runs/min,
+	// 1 in flight => ETA ~ 1/2 of elapsed = 60s.
+	line := renderProgressAt(st, base+120*sec)
+	for _, wantSeg := range []string{"elapsed 2m0s", "1.0 runs/min", "ETA ~1m0s"} {
+		if !strings.Contains(line, wantSeg) {
+			t.Errorf("live pace line missing %q: %q", wantSeg, line)
+		}
+	}
+
+	// Replay durations: a took 30s, b took 55s.
+	if len(st.DoneDurations) != 2 || st.DoneDurations[0] != 30*sec || st.DoneDurations[1] != 55*sec {
+		t.Errorf("DoneDurations = %v, want [30s 55s] in ns", st.DoneDurations)
+	}
+
+	// Once nothing is in flight, elapsed freezes at the sweep's own span
+	// (last event - first start) regardless of how late we look.
+	stDone := journal.Replay([]journal.Record{
+		{Status: journal.StatusStarted, Key: "a", Kernel: "mcf", Config: "baseline", T: base},
+		{Status: journal.StatusDone, Key: "a", Kernel: "mcf", Config: "baseline", Result: []byte(`{}`), T: base + 90*sec},
+	}, false)
+	line = renderProgressAt(stDone, base+3600*sec)
+	if !strings.Contains(line, "elapsed 1m30s") {
+		t.Errorf("finished sweep should report its own span, got %q", line)
+	}
+	if strings.Contains(line, "ETA") {
+		t.Errorf("finished sweep should not print an ETA: %q", line)
+	}
+
+	// Journals from older builds carry no timestamps: no pace segment.
+	stOld := journal.Replay([]journal.Record{
+		{Status: journal.StatusStarted, Key: "a", Kernel: "mcf", Config: "baseline"},
+	}, false)
+	if line := renderProgressAt(stOld, base); strings.Contains(line, "elapsed") {
+		t.Errorf("timestamp-less journal grew a pace segment: %q", line)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"spear/internal/isa"
 	"spear/internal/mem"
 	"spear/internal/obs"
+	"spear/internal/perf"
 )
 
 // Config describes one machine configuration (Table 2 plus SPEAR knobs).
@@ -136,6 +137,13 @@ type Config struct {
 	// queue occupancies, miss rates, p-thread activity) every that many
 	// cycles into Result.Intervals.
 	MetricsInterval uint64
+
+	// Perf, when non-nil, switches the run loop to its timed variant:
+	// host time is attributed to per-stage buckets, published to the
+	// registry's cpu.* metrics every 64K cycles, and rolled up into
+	// Result.Timing. Nil (the default) keeps the untimed loop, whose
+	// only added cost is one predictable branch per cycle.
+	Perf *perf.Registry
 }
 
 // BaselineConfig returns the paper's baseline superscalar (Table 2).
@@ -286,6 +294,12 @@ type Result struct {
 	// Config.MetricsInterval is non-zero. The last sample may cover a
 	// partial interval.
 	Intervals []IntervalSample `json:",omitempty"`
+
+	// Timing is the host-time attribution of the run (wall clock, run
+	// loop, per-stage buckets), populated only when Config.Perf was set.
+	// Host timing is nondeterministic by nature, so perf-enabled reports
+	// are not byte-reproducible across runs.
+	Timing *Timing `json:"timing,omitempty"`
 
 	// FinalStateHash fingerprints the main thread's final architectural
 	// state (registers, PC, retired count, and memory). Because p-thread

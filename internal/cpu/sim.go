@@ -10,6 +10,7 @@ import (
 	"spear/internal/isa"
 	"spear/internal/mem"
 	"spear/internal/obs"
+	"spear/internal/perf"
 	"spear/internal/prog"
 )
 
@@ -263,6 +264,10 @@ type sim struct {
 	rec    *obs.Recorder
 	sessID uint64
 	mtr    mtrState
+
+	// Host-time stage attribution (see timing.go); tmr.on mirrors
+	// Config.Perf != nil.
+	tmr stageTiming
 }
 
 // Run simulates the program to completion under cfg and returns statistics.
@@ -280,19 +285,41 @@ func Run(p *prog.Program, cfg Config) (*Result, error) {
 // wall-clock watchdog. The returned error wraps both ErrInterrupted and
 // the context's error, so errors.Is matches either.
 func RunContext(ctx context.Context, p *prog.Program, cfg Config) (*Result, error) {
+	wallStart := perf.Now()
 	s, err := newSim(p, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.ctx = ctx
+	loopStart := perf.Now()
 	err = s.runLoop()
+	loopNanos := uint64(perf.Now() - loopStart)
+	if s.tmr.on {
+		// Final partial stage window, published before the telemetry
+		// flush below so its KindSpan events reach the sinks.
+		s.flushStageNanos()
+	}
 	// Deliver buffered telemetry even when the run aborted: a partial
 	// event stream is exactly what a deadlock diagnosis needs.
 	s.rec.Flush()
 	if err != nil {
 		return nil, err
 	}
-	return s.finish()
+	res, err := s.finish()
+	if err != nil {
+		return nil, err
+	}
+	if res.Timing != nil {
+		res.Timing.LoopNanos = loopNanos
+		res.Timing.WallNanos = uint64(perf.Now() - wallStart)
+		reg := cfg.Perf
+		reg.Counter("cpu.run.count").Add(1)
+		reg.Counter("cpu.run.ns").Add(res.Timing.WallNanos)
+		reg.Counter("cpu.run.loop.ns").Add(res.Timing.LoopNanos)
+		reg.Counter("cpu.cycles").Add(res.Cycles)
+		reg.Counter("cpu.instrs").Add(res.MainCommitted)
+	}
+	return res, nil
 }
 
 // newSim validates the configuration and program and builds the machine.
@@ -389,6 +416,10 @@ func newSim(p *prog.Program, cfg Config) (*sim, error) {
 		s.rec = rec
 	}
 
+	if cfg.Perf != nil {
+		s.tmr.init(cfg.Perf)
+	}
+
 	s.oracle.Hook = func(ev *emu.Event) { s.lastEv = *ev }
 	return s, nil
 }
@@ -415,7 +446,11 @@ func (s *sim) runLoop() error {
 					ErrInterrupted, cerr, s.cycle, s.res.MainCommitted, s.oracle.Count)
 			}
 		}
-		s.stepCycle()
+		if s.tmr.on {
+			s.stepCycleTimed()
+		} else {
+			s.stepCycle()
+		}
 	}
 	return nil
 }
@@ -437,6 +472,9 @@ func (s *sim) finish() (*Result, error) {
 	if s.cfg.MetricsInterval != 0 {
 		s.sampleInterval() // final partial interval (no-op when empty)
 	}
+	if s.tmr.on {
+		s.res.Timing = s.timingResult()
+	}
 	s.res.FinalStateHash = s.oracle.StateHash()
 	s.res.finalize()
 	if err := s.rec.Err(); err != nil {
@@ -451,7 +489,23 @@ func (s *sim) done() bool {
 
 // stepCycle advances one cycle, processing stages back to front so that a
 // result produced this cycle is visible to younger stages next cycle.
+// stepCycleTimed (timing.go) is the same sequence with a clock read
+// between stages; keep the two in lockstep.
 func (s *sim) stepCycle() {
+	s.beginCycle()
+	s.commitStage()
+	s.completeStage()
+	s.issueStage()
+	extracted := s.extractStage()
+	s.dispatchStage(extracted)
+	s.triggerStage()
+	s.fetchStage()
+	s.endCycle()
+}
+
+// beginCycle resets per-cycle structural resources and accumulates
+// occupancy statistics.
+func (s *sim) beginCycle() {
 	s.memPortsUsed = 0
 	for t := range s.fuUsed {
 		for c := range s.fuUsed[t] {
@@ -466,15 +520,11 @@ func (s *sim) stepCycle() {
 			s.mtr.active++
 		}
 	}
-	s.commitStage()
-	s.completeStage()
-	s.issueStage()
-	extracted := s.extractStage()
-	s.dispatchStage(extracted)
-	s.triggerStage()
-	s.fetchStage()
+}
 
-	// Fold next-cycle wakeups into the ready lists.
+// endCycle folds next-cycle wakeups into the ready lists, advances the
+// clock, and samples interval metrics on interval boundaries.
+func (s *sim) endCycle() {
 	for t := 0; t < 2; t++ {
 		s.ready[t] = append(s.ready[t], s.readyNext[t]...)
 		s.readyNext[t] = s.readyNext[t][:0]

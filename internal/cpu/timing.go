@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"spear/internal/obs"
+	"spear/internal/perf"
+)
+
+// Host-time stage attribution: when Config.Perf is set, the run loop
+// switches to a timed variant of stepCycle that reads the perf monotonic
+// clock between pipeline stages and accumulates per-stage host
+// nanoseconds locally. Every stageFlushMask+1 cycles (64K, matching the
+// run loop's context-poll cadence) the local accumulators are published
+// to the registry's cpu.stage.<name>.ns counters and, when telemetry is
+// recording, emitted as one obs KindSpan event per stage; the whole-run
+// totals land in Result.Timing. The untimed path is untouched except for
+// one predictable branch per cycle.
+
+// Stage bucket indices for the timed step. "book" is the begin/end-of-
+// cycle bookkeeping (structural-resource reset, occupancy accounting,
+// ready-list fold, interval sampling) so the buckets together cover the
+// entire stepCycle body, not just the seven stage calls.
+const (
+	stgBook = iota
+	stgCommit
+	stgComplete
+	stgIssue
+	stgExtract
+	stgDispatch
+	stgTrigger
+	stgFetch
+	numStages
+)
+
+var stageNames = [numStages]string{
+	stgBook:     "book",
+	stgCommit:   "commit",
+	stgComplete: "complete",
+	stgIssue:    "issue",
+	stgExtract:  "extract",
+	stgDispatch: "dispatch",
+	stgTrigger:  "trigger",
+	stgFetch:    "fetch",
+}
+
+// stageFlushMask gates the per-64K-cycle publish of stage accumulators.
+const stageFlushMask = 0xFFFF
+
+// stageTiming is the sim's timing state; zero value = timing off.
+type stageTiming struct {
+	on  bool
+	acc [numStages]uint64 // nanos since the last flush (plain, single-threaded)
+	tot [numStages]uint64 // whole-run nanos
+	ctr [numStages]*perf.Counter
+}
+
+func (st *stageTiming) init(reg *perf.Registry) {
+	st.on = true
+	for i := range stageNames {
+		st.ctr[i] = reg.Counter("cpu.stage." + stageNames[i] + ".ns")
+	}
+}
+
+// Timing is the host-time attribution of one run, populated on Result
+// when the run was configured with a perf registry. Stage nanos cover
+// the run loop body; WallNanos additionally includes machine
+// construction and result assembly.
+type Timing struct {
+	WallNanos uint64       `json:"wall_ns"`
+	LoopNanos uint64       `json:"loop_ns"`
+	Stages    []StageNanos `json:"stages"`
+}
+
+// StageNanos is one stage bucket's whole-run host time.
+type StageNanos struct {
+	Name  string `json:"name"`
+	Nanos uint64 `json:"ns"`
+}
+
+// StageSum returns the total host nanos attributed to stage buckets.
+func (t *Timing) StageSum() uint64 {
+	if t == nil {
+		return 0
+	}
+	var sum uint64
+	for _, s := range t.Stages {
+		sum += s.Nanos
+	}
+	return sum
+}
+
+// stepCycleTimed is stepCycle with a clock read between stages. It must
+// mirror stepCycle exactly: same calls, same order.
+func (s *sim) stepCycleTimed() {
+	t0 := perf.Now()
+	s.beginCycle()
+	t1 := perf.Now()
+	s.commitStage()
+	t2 := perf.Now()
+	s.completeStage()
+	t3 := perf.Now()
+	s.issueStage()
+	t4 := perf.Now()
+	extracted := s.extractStage()
+	t5 := perf.Now()
+	s.dispatchStage(extracted)
+	t6 := perf.Now()
+	s.triggerStage()
+	t7 := perf.Now()
+	s.fetchStage()
+	t8 := perf.Now()
+	s.endCycle()
+	t9 := perf.Now()
+
+	st := &s.tmr
+	st.acc[stgBook] += uint64(t1-t0) + uint64(t9-t8)
+	st.acc[stgCommit] += uint64(t2 - t1)
+	st.acc[stgComplete] += uint64(t3 - t2)
+	st.acc[stgIssue] += uint64(t4 - t3)
+	st.acc[stgExtract] += uint64(t5 - t4)
+	st.acc[stgDispatch] += uint64(t6 - t5)
+	st.acc[stgTrigger] += uint64(t7 - t6)
+	st.acc[stgFetch] += uint64(t8 - t7)
+
+	if s.cycle&stageFlushMask == 0 {
+		s.flushStageNanos()
+	}
+}
+
+// flushStageNanos publishes the local stage accumulators: registry
+// counters always, one KindSpan event per nonzero bucket when telemetry
+// is recording this cycle.
+func (s *sim) flushStageNanos() {
+	st := &s.tmr
+	emit := s.obsOn()
+	for i := range st.acc {
+		ns := st.acc[i]
+		if ns == 0 {
+			continue
+		}
+		st.acc[i] = 0
+		st.tot[i] += ns
+		st.ctr[i].Add(ns)
+		if emit {
+			s.emit(obs.Event{Kind: obs.KindSpan, Arg: ns, Text: "cpu.stage." + stageNames[i]})
+		}
+	}
+}
+
+// timingResult assembles Result.Timing from the whole-run totals. Called
+// from finish after the final flush.
+func (s *sim) timingResult() *Timing {
+	t := &Timing{Stages: make([]StageNanos, 0, numStages)}
+	for i, ns := range s.tmr.tot {
+		t.Stages = append(t.Stages, StageNanos{Name: stageNames[i], Nanos: ns})
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"testing"
+
+	"spear/internal/obs"
+	"spear/internal/perf"
+)
+
+func TestTimingDisabledByDefault(t *testing.T) {
+	p := assemble(t, corePrograms["counted loop"])
+	res, err := Run(p, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing != nil {
+		t.Fatalf("Timing populated without Config.Perf: %+v", res.Timing)
+	}
+}
+
+// TestTimingCoverage pins the acceptance criterion: the per-stage
+// buckets account for (nearly) all of the run loop's host time — the
+// "book" bucket exists precisely so begin/end-of-cycle bookkeeping is
+// attributed rather than leaking.
+func TestTimingCoverage(t *testing.T) {
+	p := compileSPEAR(t, 61, 62)
+	cfg := SPEARConfig(128, false)
+	reg := perf.NewRegistry()
+	cfg.Perf = reg
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timing
+	if tm == nil {
+		t.Fatal("Config.Perf set but Result.Timing nil")
+	}
+	if tm.WallNanos == 0 || tm.LoopNanos == 0 || tm.LoopNanos > tm.WallNanos {
+		t.Fatalf("wall/loop nanos inconsistent: wall=%d loop=%d", tm.WallNanos, tm.LoopNanos)
+	}
+	sum := tm.StageSum()
+	if sum == 0 {
+		t.Fatal("no stage time accumulated")
+	}
+	if float64(sum) < 0.9*float64(tm.LoopNanos) {
+		t.Errorf("stage buckets cover %d of %d loop ns (%.1f%%), want >=90%%",
+			sum, tm.LoopNanos, 100*float64(sum)/float64(tm.LoopNanos))
+	}
+	if sum > tm.LoopNanos {
+		// Clock reads between stages are inside the loop, so the sum can
+		// never exceed the loop time.
+		t.Errorf("stage sum %d exceeds loop time %d", sum, tm.LoopNanos)
+	}
+
+	// The registry's whole-run counters must agree with the Result.
+	snap := reg.Snapshot()
+	byName := map[string]uint64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["cpu.cycles"] != res.Cycles {
+		t.Errorf("cpu.cycles = %d, run took %d", byName["cpu.cycles"], res.Cycles)
+	}
+	if byName["cpu.instrs"] != res.MainCommitted {
+		t.Errorf("cpu.instrs = %d, run committed %d", byName["cpu.instrs"], res.MainCommitted)
+	}
+	if byName["cpu.run.count"] != 1 {
+		t.Errorf("cpu.run.count = %d, want 1", byName["cpu.run.count"])
+	}
+	var ctrSum uint64
+	for _, st := range tm.Stages {
+		got := byName["cpu.stage."+st.Name+".ns"]
+		if got != st.Nanos {
+			t.Errorf("registry cpu.stage.%s.ns = %d, Timing says %d", st.Name, got, st.Nanos)
+		}
+		ctrSum += got
+	}
+	if ctrSum != sum {
+		t.Errorf("registry stage counters sum to %d, Timing to %d", ctrSum, sum)
+	}
+}
+
+func TestTimingDoesNotChangeSimulation(t *testing.T) {
+	p := compileSPEAR(t, 63, 64)
+	cfg := SPEARConfig(128, false)
+	r1, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Perf = perf.NewRegistry()
+	r2, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Extracted != r2.Extracted || r1.FinalStateHash != r2.FinalStateHash {
+		t.Error("enabling perf timing changed simulation results")
+	}
+}
+
+// TestTimingEmitsSpanEvents checks the obs integration: with both perf
+// and an event sink attached, stage rollups appear as KindSpan events
+// and their nanos match the Result's stage totals (every flush while
+// recording is also emitted; the final flush happens inside finish where
+// obsOn still reports the last cycle, so totals line up on runs shorter
+// than one flush window).
+func TestTimingEmitsSpanEvents(t *testing.T) {
+	p := assemble(t, corePrograms["counted loop"])
+	cfg := fastConfig()
+	cfg.Perf = perf.NewRegistry()
+	col := &obs.Collector{}
+	cfg.Events = col
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > stageFlushMask {
+		t.Skipf("kernel runs %d cycles; test assumes a single flush window", res.Cycles)
+	}
+	spanNs := map[string]uint64{}
+	spans := 0
+	for _, e := range col.Events {
+		if e.Kind == obs.KindSpan {
+			spans++
+			spanNs[e.Text] += e.Arg
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no KindSpan events emitted")
+	}
+	for _, st := range res.Timing.Stages {
+		if st.Nanos != spanNs["cpu.stage."+st.Name] {
+			t.Errorf("stage %s: events carry %d ns, Timing %d", st.Name, spanNs["cpu.stage."+st.Name], st.Nanos)
+		}
+	}
+}
+
+// BenchmarkStepUntimed measures the untimed hot loop — the baseline for
+// the <=2% overhead criterion (compare with BenchmarkTelemetryOff before
+// and after instrumentation, and with BenchmarkStepTimed for the cost of
+// timing itself).
+func BenchmarkStepUntimed(b *testing.B) {
+	p := benchProgram(b)
+	cfg := fastConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepTimed(b *testing.B) {
+	p := benchProgram(b)
+	cfg := fastConfig()
+	cfg.Perf = perf.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

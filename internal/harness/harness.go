@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"spear/internal/cpu"
 	"spear/internal/emu"
+	"spear/internal/perf"
 	"spear/internal/prog"
 	"spear/internal/spearcc"
 	"spear/internal/workloads"
@@ -47,6 +49,14 @@ type Options struct {
 	// It exists to exercise the retry/breaker/resume machinery in tests
 	// and fault drills and is never set in normal operation.
 	FaultHook func(kernel, config string, attempt int) error
+	// Perf, when non-nil, turns on performance observability for every
+	// run: the registry is handed to the simulator (per-stage host-time
+	// buckets, Result.Timing), harness spans (run, attempt, retry
+	// backoff) accumulate into it, and each attempt executes under pprof
+	// labels (kernel, config, run) so CPU profiles attribute samples to
+	// their (kernel, config) pair. Nil (the default) costs one branch per
+	// run and keeps reports byte-deterministic.
+	Perf *perf.Registry
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -152,11 +162,16 @@ type inflightRun struct {
 // runOutcome memoizes one simulation's result or error, so a failing
 // (kernel, config) pair is re-reported — not re-simulated — by every
 // experiment that shares the run. attempts records how many attempts the
-// run consumed under the retry policy.
+// run consumed under the retry policy; kernel/config/dur identify and
+// time the run for the slowest-run scan (dur is zero for outcomes
+// replayed from a journal — they were not executed here).
 type runOutcome struct {
 	res      *cpu.Result
 	err      error
 	attempts int
+	kernel   string
+	config   string
+	dur      time.Duration
 }
 
 // NewSuite prepares the selected kernels. Preparation failures are
@@ -333,9 +348,21 @@ func (s *Suite) runOutcomeFor(ctx context.Context, p *Prepared, cfg cpu.Config) 
 // up to MaxAttempts; BreakerThreshold consecutive failures of the same
 // (kernel, config) pair trip the circuit breaker into a typed
 // *SkipError.
-func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) runOutcome {
+func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) (o runOutcome) {
 	pol := s.Opts.Retry.normalized()
 	key := memoKey(p, cfg)
+	reg := s.Opts.Perf
+	if reg != nil {
+		// Hand the registry to the simulator: this is what switches the
+		// cycle loop to its timed variant and populates Result.Timing.
+		cfg.Perf = reg
+	}
+	start := time.Now()
+	sp := reg.Span("harness.run").Start()
+	defer func() {
+		sp.End()
+		o.kernel, o.config, o.dur = p.Kernel.Name, cfg.Name, time.Since(start)
+	}()
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, err), attempts: attempt - 1}
@@ -348,7 +375,7 @@ func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) r
 			}
 		}
 		if err == nil {
-			res, err = runProtected(ctx, p.Ref, cfg, s.Opts.RunTimeout)
+			res, err = s.runAttempt(ctx, p, cfg, key)
 		}
 		if err == nil {
 			s.breakerReset(key)
@@ -370,10 +397,47 @@ func (s *Suite) runWithRetry(ctx context.Context, p *Prepared, cfg cpu.Config) r
 		}
 		d := pol.backoffFor(key, attempt)
 		s.Opts.logf("retry %s on %s: attempt %d failed (%v); backing off %v", p.Kernel.Name, cfg.Name, attempt, err, d)
-		if serr := sleepBackoff(ctx, d); serr != nil {
+		reg.Counter("harness.retry.count").Add(1)
+		boStart := perf.Now()
+		serr := sleepBackoff(ctx, d)
+		reg.Counter("harness.retry.backoff.ns").Add(uint64(perf.Now() - boStart))
+		if serr != nil {
 			return runOutcome{err: fmt.Errorf("%w: %w", cpu.ErrInterrupted, serr), attempts: attempt}
 		}
 	}
+}
+
+// runAttempt executes one attempt. With perf observability on, the
+// attempt runs under pprof labels — kernel, config, and the memo key as
+// the run id — so CPU profile samples are attributable per pair, and an
+// attempt-level span separates simulation time from retry backoff.
+func (s *Suite) runAttempt(ctx context.Context, p *Prepared, cfg cpu.Config, key string) (res *cpu.Result, err error) {
+	reg := s.Opts.Perf
+	if reg == nil {
+		return runProtected(ctx, p.Ref, cfg, s.Opts.RunTimeout)
+	}
+	sp := reg.Span("harness.attempt").Start()
+	pprof.Do(ctx, pprof.Labels("kernel", p.Kernel.Name, "config", cfg.Name, "run", key), func(ctx context.Context) {
+		res, err = runProtected(ctx, p.Ref, cfg, s.Opts.RunTimeout)
+	})
+	sp.End()
+	return res, err
+}
+
+// SlowestRun scans the memoized outcomes for the completed run that took
+// the longest wall time in this process (journal-replayed outcomes have
+// no duration and never win). ok is false when nothing has run yet.
+// spearbench -autoprofile uses it to pick the run worth re-executing
+// under the CPU profiler.
+func (s *Suite) SlowestRun() (kernel, config string, dur time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range s.cache {
+		if o.res != nil && o.dur > dur {
+			kernel, config, dur, ok = o.kernel, o.config, o.dur, true
+		}
+	}
+	return kernel, config, dur, ok
 }
 
 // ResetRunCache forgets every memoized run outcome and breaker count so

@@ -13,6 +13,7 @@ import (
 	"spear/internal/iofault"
 	"spear/internal/journal"
 	"spear/internal/obs"
+	"spear/internal/perf"
 )
 
 // Crash-safe sweeps: SweepReportContext couples the sweep to a
@@ -36,9 +37,10 @@ const SkipInterrupted = "sweep interrupted before this run completed"
 // different conditions.
 func (s *Suite) runKey(p *Prepared, cfg cpu.Config) string {
 	c := cfg
-	// Hooks and fault-injection overrides are process-local state, not
-	// part of the machine's identity (and funcs render as addresses).
-	c.Interrupt, c.Trace, c.Events, c.PTextOverride = nil, nil, nil, nil
+	// Hooks, fault-injection overrides, and the perf registry are
+	// process-local state, not part of the machine's identity (and funcs
+	// or pointers render as addresses).
+	c.Interrupt, c.Trace, c.Events, c.PTextOverride, c.Perf = nil, nil, nil, nil, nil
 	return journal.Hash(
 		"kernel="+p.Kernel.Name,
 		fmt.Sprintf("compiler=%+v", s.Opts.Compiler),
@@ -66,6 +68,10 @@ type SweepJournalConfig struct {
 	Obs *obs.Recorder
 	// Log receives one human-readable line per storage-health event.
 	Log io.Writer
+	// Perf, when non-nil, receives the journal's I/O metrics (commit and
+	// fsync wall time, commits, bytes) — typically the same registry as
+	// Options.Perf so one snapshot covers simulation and storage.
+	Perf *perf.Registry
 }
 
 // events builds the journal.EventFunc bridging storage-health events to
@@ -140,7 +146,7 @@ func OpenSweepJournalConfig(dir string, resume bool, cfg SweepJournalConfig) (*S
 			return nil, err
 		}
 	}
-	w, err := journal.OpenConfig(dir, !resume, journal.Config{FS: fsys, Events: events})
+	w, err := journal.OpenConfig(dir, !resume, journal.Config{FS: fsys, Events: events, Perf: cfg.Perf})
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +188,7 @@ func (j *SweepJournal) Quarantined() int {
 // only after all workers have returned, so nothing is still running when
 // the report (and the journal) is finalized.
 func (s *Suite) SweepReportContext(ctx context.Context, experiment string, cfgs []cpu.Config, j *SweepJournal) *Report {
+	defer s.Opts.Perf.Span("harness.sweep").Start().End()
 	rep := &Report{Experiment: experiment}
 	for _, cfg := range cfgs {
 		rep.Machines = append(rep.Machines, cfg.Name)

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"spear/internal/iofault"
+	"spear/internal/perf"
 )
 
 // FileName is the journal file inside the journal directory.
@@ -90,6 +91,12 @@ type Record struct {
 	// Result is the serialized simulation result (done records), kept
 	// opaque here so the journal does not depend on the simulator types.
 	Result json.RawMessage `json:"result,omitempty"`
+	// T is the wall-clock append time (Unix nanoseconds), stamped by
+	// Append when zero. Pairing a key's started and terminal stamps gives
+	// per-run durations; Replay aggregates them for progress/ETA views.
+	// Absent from records written by older builds (v1 or early v2), which
+	// replay fine — the aggregates just stay empty.
+	T int64 `json:"t,omitempty"`
 }
 
 // ErrBadRecord marks a malformed interior journal record (real
@@ -136,6 +143,10 @@ type Config struct {
 	// with ENOSPC, giving the operator (or a log rotator) a chance to
 	// free space (default 50ms).
 	NospcBackoff time.Duration
+	// Perf, when non-nil, receives journal I/O metrics: journal.commits,
+	// journal.bytes, journal.write.ns (write+sync wall time), and
+	// journal.fsync.ns (the sync alone). Nil costs nothing.
+	Perf *perf.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +194,10 @@ type Writer struct {
 	f    iofault.File
 	path string
 	off  int64 // bytes known durably committed; failed commits truncate back to it
+
+	// Perf counter handles, resolved once at open; nil (no-op) without
+	// Config.Perf.
+	cCommits, cBytes, cWriteNs, cFsyncNs *perf.Counter
 }
 
 // appendReq is one marshalled line awaiting the writer goroutine; errc
@@ -231,6 +246,10 @@ func OpenConfig(dir string, truncate bool, cfg Config) (*Writer, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	w := &Writer{cfg: cfg, fs: fsys, f: f, path: path, reqs: make(chan appendReq, 64), done: make(chan struct{})}
+	w.cCommits = cfg.Perf.Counter("journal.commits")
+	w.cBytes = cfg.Perf.Counter("journal.bytes")
+	w.cWriteNs = cfg.Perf.Counter("journal.write.ns")
+	w.cFsyncNs = cfg.Perf.Counter("journal.fsync.ns")
 	if fresh {
 		if err := w.commitBytes([]byte(Header + "\n")); err != nil {
 			_ = f.Close()
@@ -320,12 +339,18 @@ func (w *Writer) commitBytes(buf []byte) error {
 				continue
 			}
 		}
+		writeStart := perf.Now()
 		_, werr := w.f.Write(buf)
 		if werr == nil {
+			syncStart := perf.Now()
 			werr = w.f.Sync()
+			w.cFsyncNs.Add(uint64(perf.Now() - syncStart))
 		}
+		w.cWriteNs.Add(uint64(perf.Now() - writeStart))
 		if werr == nil {
 			w.off += int64(len(buf))
+			w.cCommits.Add(1)
+			w.cBytes.Add(uint64(len(buf)))
 			return nil
 		}
 		err = werr
@@ -366,6 +391,9 @@ var ErrClosed = errors.New("journal: writer closed")
 func (w *Writer) Append(rec Record) error {
 	if err := rec.validate(); err != nil {
 		return err
+	}
+	if rec.T == 0 {
+		rec.T = time.Now().UnixNano()
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -417,6 +445,15 @@ type State struct {
 	// Quarantined counts corrupt records the lenient loader skipped;
 	// their runs simply re-execute. Repair moves them to the sidecar.
 	Quarantined int
+
+	// Timing aggregates from Record.T stamps (all Unix nanoseconds; zero
+	// when no record carried a stamp). FirstStart/LastEvent bound the
+	// sweep's observed activity; DoneDurations holds the started→done
+	// interval of every completed run, the raw material for throughput
+	// and ETA estimates in progress views.
+	FirstStart    int64
+	LastEvent     int64
+	DoneDurations []int64
 }
 
 // Replay folds a record sequence into resume state.
@@ -426,11 +463,24 @@ func Replay(recs []Record, torn bool) *State {
 		InFlight: make(map[string]Record),
 		Torn:     torn,
 	}
+	starts := make(map[string]int64)
 	for _, rec := range recs {
+		if rec.T != 0 {
+			if st.FirstStart == 0 || rec.T < st.FirstStart {
+				st.FirstStart = rec.T
+			}
+			if rec.T > st.LastEvent {
+				st.LastEvent = rec.T
+			}
+		}
 		if rec.Status.Terminal() {
+			if t0 := starts[rec.Key]; t0 != 0 && rec.T > t0 && rec.Status == StatusDone {
+				st.DoneDurations = append(st.DoneDurations, rec.T-t0)
+			}
 			st.Terminal[rec.Key] = rec
 			delete(st.InFlight, rec.Key)
 		} else {
+			starts[rec.Key] = rec.T
 			st.InFlight[rec.Key] = rec
 		}
 	}

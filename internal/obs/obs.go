@@ -34,6 +34,11 @@ const (
 	KindIOBackoff
 	KindQuarantine
 	KindIORepair
+	// KindSpan is a wall-clock timing rollup from the perf layer: Text
+	// names the span (e.g. a pipeline stage bucket), Arg carries the
+	// accumulated host nanoseconds for the reporting window. Emitted at
+	// each per-64K-cycle stage flush and once at end of run.
+	KindSpan
 )
 
 var kindNames = [...]string{
@@ -52,6 +57,7 @@ var kindNames = [...]string{
 	KindIOBackoff:    "io-backoff",
 	KindQuarantine:   "quarantine",
 	KindIORepair:     "io-repair",
+	KindSpan:         "span",
 }
 
 func (k Kind) String() string {

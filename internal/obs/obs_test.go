@@ -100,7 +100,7 @@ func TestBinaryRejectsBadMagic(t *testing.T) {
 }
 
 func TestKindStringsRoundTrip(t *testing.T) {
-	for k := KindFetch; k <= KindIORepair; k++ {
+	for k := KindFetch; k <= KindSpan; k++ {
 		name := k.String()
 		if name == "unknown" {
 			t.Fatalf("kind %d has no name", k)

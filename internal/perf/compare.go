@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spear/internal/stats"
+)
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Unit     string
+	Old, New float64
+	// Pct is the signed relative change (new-old)/old in percent;
+	// +Inf when old is zero and new is not.
+	Pct float64
+	// Better direction from the baseline metric.
+	Better string
+	// ThresholdPct that applied (after any override).
+	ThresholdPct float64
+	// Regressed is true when the metric moved past its threshold in the
+	// worse direction.
+	Regressed bool
+	// Improved is true when it moved past the threshold in the better
+	// direction (worth calling out, never a gate).
+	Improved bool
+	// Missing marks metrics present in only one document.
+	Missing string // "", "old", or "new"
+}
+
+// Compare diffs two bench documents metric by metric. Thresholds come
+// from the baseline (old) document; overridePct > 0 replaces every
+// gating threshold, and metrics with threshold 0 stay informational.
+// Results are sorted by name.
+func Compare(old, new_ *Bench, overridePct float64) []Delta {
+	var out []Delta
+	seen := map[string]bool{}
+	for _, om := range old.Metrics {
+		seen[om.Name] = true
+		d := Delta{Name: om.Name, Unit: om.Unit, Old: om.Value, Better: om.Better, ThresholdPct: om.ThresholdPct}
+		if overridePct > 0 && d.ThresholdPct > 0 {
+			d.ThresholdPct = overridePct
+		}
+		nm := new_.Metric(om.Name)
+		if nm == nil {
+			d.Missing = "new"
+			out = append(out, d)
+			continue
+		}
+		d.New = nm.Value
+		switch {
+		case om.Value != 0:
+			d.Pct = 100 * (nm.Value - om.Value) / om.Value
+		case nm.Value != 0:
+			d.Pct = math.Inf(1)
+		}
+		if d.ThresholdPct > 0 {
+			switch d.Better {
+			case HigherIsBetter:
+				d.Regressed = d.Pct < -d.ThresholdPct
+				d.Improved = d.Pct > d.ThresholdPct
+			default: // LowerIsBetter and anything unspecified
+				d.Regressed = d.Pct > d.ThresholdPct
+				d.Improved = d.Pct < -d.ThresholdPct
+			}
+		}
+		out = append(out, d)
+	}
+	for _, nm := range new_.Metrics {
+		if !seen[nm.Name] {
+			out = append(out, Delta{Name: nm.Name, Unit: nm.Unit, New: nm.Value, Better: nm.Better, Missing: "old"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Regressions counts deltas that tripped their threshold.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderComparison formats a benchstat-style table of the deltas, with
+// a verdict column marking regressions (REGRESS), notable improvements
+// (improve), and metrics missing from one side.
+func RenderComparison(old, new_ *Bench, deltas []Delta) string {
+	t := stats.NewTable("metric", "unit", "old", "new", "delta", "thresh", "verdict")
+	for _, d := range deltas {
+		verdict := ""
+		switch {
+		case d.Missing == "new":
+			verdict = "gone"
+		case d.Missing == "old":
+			verdict = "added"
+		case d.Regressed:
+			verdict = "REGRESS"
+		case d.Improved:
+			verdict = "improve"
+		}
+		thresh := ""
+		if d.ThresholdPct > 0 {
+			thresh = fmt.Sprintf("±%g%%", d.ThresholdPct)
+		}
+		oldCell, newCell, deltaCell := fmtVal(d.Old), fmtVal(d.New), fmtPct(d.Pct)
+		if d.Missing == "new" {
+			newCell, deltaCell = "-", ""
+		}
+		if d.Missing == "old" {
+			oldCell, deltaCell = "-", ""
+		}
+		t.AddRow(d.Name, d.Unit, oldCell, newCell, deltaCell, thresh, verdict)
+	}
+	head := fmt.Sprintf("Benchmark comparison: %s -> %s", old.Name, new_.Name)
+	if old.Env.Hostname != new_.Env.Hostname || old.Env.GoVersion != new_.Env.GoVersion ||
+		old.Env.NumCPU != new_.Env.NumCPU {
+		head += fmt.Sprintf("\nWARNING: environments differ (old: %s %s %dcpu; new: %s %s %dcpu)",
+			old.Env.Hostname, old.Env.GoVersion, old.Env.NumCPU,
+			new_.Env.Hostname, new_.Env.GoVersion, new_.Env.NumCPU)
+	}
+	return head + "\n" + t.String()
+}
+
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func fmtPct(p float64) string {
+	if math.IsInf(p, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.2f%%", p)
+}

@@ -1,0 +1,19 @@
+package perf
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry's current snapshot as indented JSON — the
+// /metrics surface mounted by spearbench -debug-addr (and later
+// cmd/speard). A nil registry serves an empty snapshot, so the endpoint
+// is always safe to mount.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
