@@ -91,18 +91,21 @@ import (
 	"time"
 
 	"spear/internal/cpu"
+	"spear/internal/exitcode"
 	"spear/internal/harness"
 	"spear/internal/journal"
 	"spear/internal/perf"
+	"spear/internal/sched"
 	"spear/internal/workloads"
 )
 
-// Exit codes (documented in the package comment and -h output).
+// Exit codes (documented in the package comment and -h output; the
+// numbers live in the shared internal/exitcode table).
 const (
-	exitOK      = 0
-	exitErr     = 1
-	exitPartial = 3
-	exitDamaged = 5
+	exitOK      = exitcode.OK
+	exitErr     = exitcode.Err
+	exitPartial = exitcode.Partial
+	exitDamaged = exitcode.FsckDamaged
 )
 
 // errPartial marks a gracefully interrupted sweep: the partial report was
@@ -327,25 +330,21 @@ func run(ctx context.Context, ro runOptions) error {
 		if ro.asJSON && ro.asCSV {
 			return fmt.Errorf("-json and -csv are mutually exclusive")
 		}
-		var sj *harness.SweepJournal
-		if ro.journalDir != "" {
-			jcfg := harness.SweepJournalConfig{Perf: reg}
-			if ro.verbose {
-				jcfg.Log = os.Stderr
-			}
-			sj, err = harness.OpenSweepJournalConfig(ro.journalDir, ro.resume, jcfg)
-			if err != nil {
-				return err
-			}
-			defer sj.Close()
-			if ro.resume {
-				replayed, torn := sj.Replayed()
-				fmt.Fprintf(os.Stderr, "spearbench: resuming: %d completed runs replayed from the journal", replayed)
-				if torn {
+		// Sweeps execute through the same engine/scheduler code path as
+		// the speard server (internal/sched.Exec), so a CLI sweep and a
+		// POSTed one are the same computation end to end.
+		spec := sched.JournalSpec{Dir: ro.journalDir, Resume: ro.resume, Perf: reg}
+		if ro.verbose {
+			spec.Log = os.Stderr
+		}
+		if ro.resume {
+			spec.OnOpen = func(js sched.JournalStats) {
+				fmt.Fprintf(os.Stderr, "spearbench: resuming: %d completed runs replayed from the journal", js.Replayed)
+				if js.Torn {
 					fmt.Fprint(os.Stderr, " (torn final record dropped; its run re-executes)")
 				}
-				if q := sj.Quarantined(); q > 0 {
-					fmt.Fprintf(os.Stderr, " (%d corrupt records quarantined; their runs re-execute)", q)
+				if js.Quarantined > 0 {
+					fmt.Fprintf(os.Stderr, " (%d corrupt records quarantined; their runs re-execute)", js.Quarantined)
 				}
 				fmt.Fprintln(os.Stderr)
 			}
@@ -353,7 +352,10 @@ func run(ctx context.Context, ro runOptions) error {
 		mallocs0, bytes0 := sweepMemStats()
 		sweepStart := time.Now()
 		cfgs := harness.StandardConfigs()
-		rep := suite.SweepReportContext(ctx, "sweep", cfgs, sj)
+		rep, _, err := sched.Exec(ctx, sched.EngineForSuite(suite), sched.Request{Seed: seed, Experiment: "sweep"}, spec)
+		if err != nil {
+			return err
+		}
 		st := benchStats{wall: time.Since(sweepStart)}
 		mallocs1, bytes1 := sweepMemStats()
 		st.allocs, st.heapBytes = mallocs1-mallocs0, bytes1-bytes0

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"spear/internal/asm"
+	"spear/internal/exitcode"
 	"spear/internal/prog"
 	"spear/internal/spearcc"
 	"spear/internal/workloads"
@@ -36,7 +37,7 @@ func main() {
 
 	if err := run(*in, *workload, *out, *report, *maxInstr, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "spearcc:", err)
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 }
 

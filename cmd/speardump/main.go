@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"spear/internal/exitcode"
 	"spear/internal/harness"
 	"spear/internal/prog"
 	"spear/internal/workloads"
@@ -25,7 +26,7 @@ func main() {
 	flag.Parse()
 	if err := run(*bin, *workload); err != nil {
 		fmt.Fprintln(os.Stderr, "speardump:", err)
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 }
 

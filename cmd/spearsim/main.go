@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"spear/internal/cpu"
+	"spear/internal/exitcode"
 	"spear/internal/harness"
 	"spear/internal/mem"
 	"spear/internal/obs"
@@ -52,11 +53,13 @@ import (
 	"spear/internal/workloads"
 )
 
+// Exit codes come from the shared table in internal/exitcode so every
+// binary in the repo agrees on what each status means.
 const (
-	exitErr         = 1
-	exitValidation  = 2
-	exitDeadlock    = 3
-	exitInterrupted = 4
+	exitErr         = exitcode.Err
+	exitValidation  = exitcode.Validation
+	exitDeadlock    = exitcode.Deadlock
+	exitInterrupted = exitcode.Interrupted
 )
 
 // options collects the command-line knobs that shape one simulation.

@@ -48,6 +48,7 @@ import (
 	"sort"
 	"time"
 
+	"spear/internal/exitcode"
 	"spear/internal/harness"
 	"spear/internal/journal"
 	"spear/internal/mem"
@@ -58,25 +59,39 @@ import (
 func main() {
 	top := flag.Int("top", 10, "prefetch PCs to list per (kernel, machine) pair")
 	journalDir := flag.String("journal", "", "render sweep progress from this write-ahead journal directory instead of a report")
-	follow := flag.Bool("follow", false, "with -journal: refresh the progress line every second until interrupted")
+	addr := flag.String("addr", "", "render live progress from a running speard at this address (e.g. http://localhost:8791) instead of a journal directory")
+	follow := flag.Bool("follow", false, "with -journal/-addr: refresh the progress line every -interval until interrupted")
+	refresh := flag.Duration("interval", time.Second, "refresh interval for -follow")
 	verify := flag.Bool("verify", false, "with -journal: walk the journal and report per-record integrity (exit 2 on damage)")
 	bench := flag.Bool("bench", false, "compare two spear-bench/1 documents: spearstat -bench old.json new.json (exit 4 on regression)")
 	benchThreshold := flag.Float64("bench-threshold", 0, "with -bench: override every gating regression threshold with this flat percentage")
 	benchWarn := flag.Bool("bench-warn", false, "with -bench: report regressions but exit 0 (advisory mode)")
 	flag.Parse()
 
-	if (*follow || *verify) && *journalDir == "" {
-		fmt.Fprintln(os.Stderr, "spearstat: -follow/-verify require -journal <dir>")
-		os.Exit(1)
+	if *follow && *journalDir == "" && *addr == "" {
+		fmt.Fprintln(os.Stderr, "spearstat: -follow requires -journal <dir> or -addr <url>")
+		os.Exit(exitcode.Err)
+	}
+	if *verify && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "spearstat: -verify requires -journal <dir>")
+		os.Exit(exitcode.Err)
+	}
+	if *journalDir != "" && *addr != "" {
+		fmt.Fprintln(os.Stderr, "spearstat: -journal and -addr are mutually exclusive")
+		os.Exit(exitcode.Err)
+	}
+	if *refresh <= 0 {
+		fmt.Fprintln(os.Stderr, "spearstat: -interval must be positive")
+		os.Exit(exitcode.Err)
 	}
 	if *bench {
 		regressed, err := runBench(flag.Args(), *benchThreshold, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spearstat:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		if regressed > 0 && !*benchWarn {
-			os.Exit(4)
+			os.Exit(exitcode.BenchRegression)
 		}
 		return
 	}
@@ -84,28 +99,34 @@ func main() {
 		rep, err := journal.Fsck(nil, *journalDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spearstat:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		fmt.Print(rep.Summary())
 		if !rep.Clean() {
-			os.Exit(2)
+			os.Exit(exitcode.VerifyDamaged)
 		}
 		return
 	}
-	if *journalDir != "" {
+	if *journalDir != "" || *addr != "" {
 		interval := time.Duration(0)
 		if *follow {
-			interval = time.Second
+			interval = *refresh
 		}
-		if err := progress(*journalDir, interval, os.Stdout); err != nil {
+		var err error
+		if *addr != "" {
+			err = progressAddr(*addr, interval, os.Stdout)
+		} else {
+			err = progress(*journalDir, interval, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "spearstat:", err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		return
 	}
 	if err := run(flag.Args(), *top, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spearstat:", err)
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 }
 

@@ -1,14 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
@@ -18,23 +19,26 @@ import (
 // Journal progress mode: `spearstat -journal <dir>` inspects a sweep's
 // write-ahead journal and prints one progress line — how many runs are
 // done, failed, or skipped, and which are currently in flight. With
-// -follow the line refreshes in place until interrupted, giving a live
-// view of a parallel sweep running in another process: the in-flight
-// count is the number of `started` records without a terminal record,
-// i.e. the worker pool's current occupancy.
+// -follow the line refreshes in place (every -interval) until
+// interrupted, giving a live view of a parallel sweep running in
+// another process: the in-flight count is the number of `started`
+// records without a terminal record, i.e. the worker pool's current
+// occupancy.
+//
+// `spearstat -addr http://host:port` renders the same line from a
+// running speard instead, via its /v1/progress endpoint. Both paths
+// fold down to journal.Progress, so the numbers agree no matter where
+// they were computed.
 
-// progress renders the journal in dir once (follow == 0) or refreshes
-// the line every follow interval until SIGINT. A journal that does not
-// exist yet is not an error: -follow is commonly started before the
-// sweep it watches, so it shows a waiting line and polls until the
-// journal file appears.
-func progress(dir string, follow time.Duration, out io.Writer) error {
-	line, err := progressLine(dir)
+// followLoop renders line() once (follow == 0) or refreshes it in place
+// every follow interval until SIGINT.
+func followLoop(line func() (string, error), follow time.Duration, out io.Writer) error {
+	s, err := line()
 	if err != nil {
 		return err
 	}
 	if follow <= 0 {
-		fmt.Fprintln(out, line)
+		fmt.Fprintln(out, s)
 		return nil
 	}
 	sigc := make(chan os.Signal, 1)
@@ -43,18 +47,34 @@ func progress(dir string, follow time.Duration, out io.Writer) error {
 	tick := time.NewTicker(follow)
 	defer tick.Stop()
 	for {
-		fmt.Fprintf(out, "\r\033[K%s", line)
+		fmt.Fprintf(out, "\r\033[K%s", s)
 		select {
 		case <-sigc:
 			fmt.Fprintln(out)
 			return nil
 		case <-tick.C:
 		}
-		if line, err = progressLine(dir); err != nil {
+		if s, err = line(); err != nil {
 			fmt.Fprintln(out)
 			return err
 		}
 	}
+}
+
+// progress renders the journal in dir once (follow == 0) or refreshes
+// the line every follow interval until SIGINT. A journal that does not
+// exist yet is not an error: -follow is commonly started before the
+// sweep it watches, so it shows a waiting line and polls until the
+// journal file appears.
+func progress(dir string, follow time.Duration, out io.Writer) error {
+	return followLoop(func() (string, error) { return progressLine(dir) }, follow, out)
+}
+
+// progressAddr renders live progress from a running speard's
+// /v1/progress endpoint, with the same once-or-follow behavior as the
+// journal path.
+func progressAddr(addr string, follow time.Duration, out io.Writer) error {
+	return followLoop(func() (string, error) { return addrLine(addr) }, follow, out)
 }
 
 // progressLine loads the journal and renders its progress line, or a
@@ -71,6 +91,48 @@ func progressLine(dir string) (string, error) {
 	return renderProgress(st), nil
 }
 
+// serverProgress is the subset of speard's /v1/progress response
+// spearstat renders (the full shape is sched.Progress).
+type serverProgress struct {
+	JobsQueued      int              `json:"jobs_queued"`
+	JobsRunning     int              `json:"jobs_running"`
+	JobsDone        int              `json:"jobs_done"`
+	JobsFailed      int              `json:"jobs_failed"`
+	JobsInterrupted int              `json:"jobs_interrupted"`
+	JobsShed        int              `json:"jobs_shed"`
+	Runs            journal.Progress `json:"runs"`
+}
+
+// addrLine fetches and renders one progress line from a running speard.
+func addrLine(addr string) (string, error) {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + "/v1/progress")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("%s/v1/progress: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var sp serverProgress
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		return "", fmt.Errorf("%s/v1/progress: %w", base, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speard: %d queued, %d running, %d done, %d failed, %d interrupted",
+		sp.JobsQueued, sp.JobsRunning, sp.JobsDone, sp.JobsFailed, sp.JobsInterrupted)
+	if sp.JobsShed > 0 {
+		fmt.Fprintf(&b, ", %d shed", sp.JobsShed)
+	}
+	b.WriteString(" | ")
+	b.WriteString(renderProgressLine(sp.Runs, time.Now().UnixNano()))
+	return b.String(), nil
+}
+
 // renderProgress folds replayed journal state into one human-readable
 // progress line.
 func renderProgress(st *journal.State) string {
@@ -80,32 +142,17 @@ func renderProgress(st *journal.State) string {
 // renderProgressAt is renderProgress with an injectable clock (Unix
 // nanoseconds) so tests are deterministic.
 func renderProgressAt(st *journal.State, now int64) string {
-	var done, failed, skipped int
-	for _, rec := range st.Terminal {
-		switch rec.Status {
-		case journal.StatusDone:
-			done++
-		case journal.StatusFailed:
-			failed++
-		case journal.StatusSkipped:
-			skipped++
-		}
-	}
+	return renderProgressLine(st.Progress(), now)
+}
+
+// renderProgressLine renders the serializable progress summary — the
+// shared currency between the local journal path and speard's HTTP
+// endpoints — as the one-line human view.
+func renderProgressLine(p journal.Progress, now int64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep: %d done, %d failed, %d skipped | %d in flight", done, failed, skipped, len(st.InFlight))
-	if len(st.InFlight) > 0 {
-		names := make([]string, 0, len(st.InFlight))
-		for _, rec := range st.InFlight {
-			name := rec.Kernel
-			if rec.Config != "" {
-				name += "/" + rec.Config
-			}
-			if name == "" {
-				name = rec.Key
-			}
-			names = append(names, name)
-		}
-		sort.Strings(names)
+	fmt.Fprintf(&b, "sweep: %d done, %d failed, %d skipped | %d in flight", p.Done, p.Failed, p.Skipped, len(p.InFlight))
+	if len(p.InFlight) > 0 {
+		names := p.InFlight
 		const show = 4
 		extra := 0
 		if len(names) > show {
@@ -117,12 +164,12 @@ func renderProgressAt(st *journal.State, now int64) string {
 			fmt.Fprintf(&b, " (+%d more)", extra)
 		}
 	}
-	b.WriteString(renderPace(st, done+failed+skipped, now))
-	if st.Torn {
+	b.WriteString(renderPace(p, now))
+	if p.Torn {
 		b.WriteString(" | torn tail (crash mid-append; that run re-executes on resume)")
 	}
-	if st.Quarantined > 0 {
-		fmt.Fprintf(&b, " | %d corrupt records skipped (their runs re-execute on resume)", st.Quarantined)
+	if p.Quarantined > 0 {
+		fmt.Fprintf(&b, " | %d corrupt records skipped (their runs re-execute on resume)", p.Quarantined)
 	}
 	return b.String()
 }
@@ -134,27 +181,27 @@ func renderProgressAt(st *journal.State, now int64) string {
 // in flight — at the sweep's observed completion rate; runs the sweep
 // has not started yet are invisible to the journal, so the estimate is
 // a floor while the pool is still being fed.
-func renderPace(st *journal.State, terminal int, now int64) string {
-	if st.FirstStart == 0 {
+func renderPace(p journal.Progress, now int64) string {
+	if p.FirstStart == 0 {
 		return ""
 	}
 	// While runs are in flight the sweep is live and elapsed tracks the
 	// caller's clock; once everything is terminal, report the sweep's own
 	// span rather than time since it finished.
 	end := now
-	if len(st.InFlight) == 0 || end < st.LastEvent {
-		end = st.LastEvent
+	if len(p.InFlight) == 0 || end < p.LastEvent {
+		end = p.LastEvent
 	}
-	elapsed := time.Duration(end - st.FirstStart)
+	elapsed := time.Duration(end - p.FirstStart)
 	if elapsed <= 0 {
 		return ""
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, " | elapsed %s", elapsed.Round(time.Second))
-	if terminal > 0 {
+	if terminal := p.Terminal(); terminal > 0 {
 		perMin := float64(terminal) / elapsed.Minutes()
 		fmt.Fprintf(&b, " | %.1f runs/min", perMin)
-		if n := len(st.InFlight); n > 0 {
+		if n := len(p.InFlight); n > 0 {
 			eta := time.Duration(float64(n) / float64(terminal) * float64(elapsed))
 			fmt.Fprintf(&b, " | ETA ~%s", eta.Round(time.Second))
 		}

@@ -3,8 +3,10 @@ package cpu
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 // longLoop is a program whose simulation runs for millions of cycles —
@@ -61,6 +63,51 @@ func TestRunContextCancelPreemptsRunningSim(t *testing.T) {
 	// the run dies at cycle 65536 — far before the loop's natural end.
 	if !strings.Contains(err.Error(), "at cycle 65536 ") {
 		t.Errorf("err = %v, want abort at the first 64K-cycle poll after cancellation", err)
+	}
+}
+
+// TestRunContextDeadlinePreemptsAtPoll gives a long simulation a short
+// wall-clock deadline and asserts the typed contract a deadline-bearing
+// caller (speard, via internal/sched) depends on: the error matches both
+// ErrInterrupted and context.DeadlineExceeded, and the run stops at a
+// 64K-cycle poll boundary rather than some arbitrary cycle — the
+// cooperative-cancellation guarantee that bounds how far a run can
+// overshoot its deadline.
+func TestRunContextDeadlinePreemptsAtPoll(t *testing.T) {
+	// A loop two orders of magnitude longer than longLoop: the deadline
+	// must be what stops it, not the loop bound.
+	p := assemble(t, `
+main:   li r1, 0
+        li r2, 400000000
+loop:   addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, p, fastConfig())
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to also match context.DeadlineExceeded", err)
+	}
+	// The sim must stop at the next 64K-cycle poll after expiry, so the
+	// reported cycle is a multiple of 65536 (and not the cycle-0 poll:
+	// the deadline was live when the run began).
+	var cycle uint64
+	if _, serr := fmt.Sscanf(err.Error()[strings.Index(err.Error(), "at cycle "):], "at cycle %d", &cycle); serr != nil {
+		t.Fatalf("err %q carries no parseable cycle count: %v", err, serr)
+	}
+	if cycle == 0 || cycle%65536 != 0 {
+		t.Errorf("aborted at cycle %d, want a nonzero multiple of 65536 (the poll interval)", cycle)
+	}
+	// Wall-clock sanity: preemption is prompt, not after the 400M-iteration
+	// loop finishes. Generous bound for slow CI machines.
+	if elapsed > 10*time.Second {
+		t.Errorf("preemption took %s, want well under 10s", elapsed)
 	}
 }
 

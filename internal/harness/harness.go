@@ -239,6 +239,27 @@ func NewSuiteContext(ctx context.Context, opts Options) (*Suite, error) {
 	return s, nil
 }
 
+// NewStaticSuite builds a suite directly around pre-assembled programs,
+// bypassing the build/profile/compile pipeline entirely. Each program is
+// installed as a prepared kernel under its Name. It exists for tests and
+// tools (the sched and speard batteries, synthetic benchmarks) that need
+// the full run/retry/journal machinery without paying for real kernel
+// preparation; production paths go through NewSuiteContext.
+func NewStaticSuite(opts Options, progs ...*prog.Program) *Suite {
+	s := &Suite{
+		Opts:     opts,
+		ctx:      context.Background(),
+		cache:    map[string]runOutcome{},
+		inflight: map[string]*inflightRun{},
+		breaker:  map[string]int{},
+		Failed:   map[string]error{},
+	}
+	for _, p := range progs {
+		s.Prepared = append(s.Prepared, &Prepared{Kernel: workloads.Kernel{Name: p.Name}, Ref: p, RefInstr: 1})
+	}
+	return s
+}
+
 // runProtected runs one simulation with panic isolation, cooperative
 // cancellation, and the suite's wall-clock watchdog: a panicking or
 // wedged run becomes an ordinary error on this (kernel, config) pair

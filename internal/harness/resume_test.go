@@ -14,7 +14,7 @@ import (
 	"spear/internal/asm"
 	"spear/internal/cpu"
 	"spear/internal/journal"
-	"spear/internal/workloads"
+	"spear/internal/prog"
 )
 
 // tinyLoop simulates in a few hundred cycles, so the reliability tests
@@ -31,16 +31,16 @@ loop:   addi r1, r1, 1
 // bypassing kernel preparation (which dominates harness test time).
 func tinySuite(t *testing.T, opts Options, kernels ...string) *Suite {
 	t.Helper()
-	s := &Suite{Opts: opts, ctx: context.Background(), cache: map[string]runOutcome{}, inflight: map[string]*inflightRun{}, breaker: map[string]int{}, Failed: map[string]error{}}
+	progs := make([]*prog.Program, 0, len(kernels))
 	for _, name := range kernels {
 		p, err := asm.Assemble(name+".s", tinyLoop)
 		if err != nil {
 			t.Fatal(err)
 		}
 		p.Name = name
-		s.Prepared = append(s.Prepared, &Prepared{Kernel: workloads.Kernel{Name: name}, Ref: p, RefInstr: 1})
+		progs = append(progs, p)
 	}
-	return s
+	return NewStaticSuite(opts, progs...)
 }
 
 func tinyOptions() Options {

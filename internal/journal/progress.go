@@ -1,0 +1,82 @@
+package journal
+
+import "sort"
+
+// Progress is the serializable summary of a replayed journal: everything
+// a progress view (spearstat -follow, speard's /v1/progress endpoints)
+// needs, detached from the full State so it can travel as JSON between a
+// server and a remote viewer. The same struct renders identically
+// whether it was computed from a local journal directory or fetched over
+// HTTP from a running speard.
+type Progress struct {
+	// Done/Failed/Skipped count terminal records by status.
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Skipped int `json:"skipped"`
+	// InFlight labels the runs whose last record is "started" — the
+	// worker pool's current occupancy — as sorted "kernel/config" pairs
+	// (falling back to the content hash for records without names).
+	InFlight []string `json:"in_flight,omitempty"`
+	// Torn records that the journal's final line was torn by a crash.
+	Torn bool `json:"torn,omitempty"`
+	// Quarantined counts corrupt records skipped by the lenient loader.
+	Quarantined int `json:"quarantined,omitempty"`
+	// FirstStart/LastEvent bound the journal's observed activity (Unix
+	// nanoseconds; zero when no record carried a timestamp).
+	FirstStart int64 `json:"first_start,omitempty"`
+	LastEvent  int64 `json:"last_event,omitempty"`
+}
+
+// Progress folds the replayed state down to its progress summary.
+func (st *State) Progress() Progress {
+	p := Progress{
+		Torn:        st.Torn,
+		Quarantined: st.Quarantined,
+		FirstStart:  st.FirstStart,
+		LastEvent:   st.LastEvent,
+	}
+	for _, rec := range st.Terminal {
+		switch rec.Status {
+		case StatusDone:
+			p.Done++
+		case StatusFailed:
+			p.Failed++
+		case StatusSkipped:
+			p.Skipped++
+		}
+	}
+	for _, rec := range st.InFlight {
+		name := rec.Kernel
+		if rec.Config != "" {
+			name += "/" + rec.Config
+		}
+		if name == "" {
+			name = rec.Key
+		}
+		p.InFlight = append(p.InFlight, name)
+	}
+	sort.Strings(p.InFlight)
+	return p
+}
+
+// Terminal is the total number of finished runs the summary covers.
+func (p Progress) Terminal() int { return p.Done + p.Failed + p.Skipped }
+
+// Merge folds another summary into p — speard aggregates one Progress
+// per live job into a single server-wide view. Counts add; the activity
+// bounds widen to cover both.
+func (p *Progress) Merge(q Progress) {
+	p.Done += q.Done
+	p.Failed += q.Failed
+	p.Skipped += q.Skipped
+	p.InFlight = append(p.InFlight, q.InFlight...)
+	sort.Strings(p.InFlight)
+	p.Torn = p.Torn || q.Torn
+	p.Quarantined += q.Quarantined
+	if q.FirstStart != 0 && (p.FirstStart == 0 || q.FirstStart < p.FirstStart) {
+		p.FirstStart = q.FirstStart
+	}
+	if q.LastEvent > p.LastEvent {
+		p.LastEvent = q.LastEvent
+	}
+}

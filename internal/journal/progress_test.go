@@ -1,0 +1,57 @@
+package journal
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStateProgress(t *testing.T) {
+	st := Replay([]Record{
+		{Status: StatusStarted, Key: "a", Kernel: "mcf", Config: "baseline", T: 100},
+		{Status: StatusDone, Key: "a", Kernel: "mcf", Config: "baseline", T: 200},
+		{Status: StatusStarted, Key: "b", Kernel: "art", Config: "SPEAR-128", T: 150},
+		{Status: StatusFailed, Key: "c", Kernel: "art", Config: "baseline", T: 180},
+		{Status: StatusSkipped, Key: "d", Kernel: "mcf", Config: "SPEAR-128", T: 190},
+		{Status: StatusStarted, Key: "e", T: 210},
+	}, true)
+	st.Quarantined = 2
+
+	p := st.Progress()
+	if p.Done != 1 || p.Failed != 1 || p.Skipped != 1 {
+		t.Errorf("counts = %d/%d/%d, want 1/1/1", p.Done, p.Failed, p.Skipped)
+	}
+	if p.Terminal() != 3 {
+		t.Errorf("Terminal() = %d, want 3", p.Terminal())
+	}
+	// Named in-flight runs render kernel/config; anonymous ones fall back
+	// to the key; the list is sorted.
+	if want := []string{"art/SPEAR-128", "e"}; !reflect.DeepEqual(p.InFlight, want) {
+		t.Errorf("InFlight = %v, want %v", p.InFlight, want)
+	}
+	if !p.Torn || p.Quarantined != 2 {
+		t.Errorf("Torn/Quarantined = %v/%d, want true/2", p.Torn, p.Quarantined)
+	}
+	if p.FirstStart != 100 || p.LastEvent != 210 {
+		t.Errorf("activity bounds = %d..%d, want 100..210", p.FirstStart, p.LastEvent)
+	}
+}
+
+func TestProgressMerge(t *testing.T) {
+	a := Progress{Done: 2, Failed: 1, InFlight: []string{"x/b"}, FirstStart: 100, LastEvent: 300}
+	b := Progress{Done: 1, Skipped: 2, InFlight: []string{"a/b"}, Torn: true, Quarantined: 1, FirstStart: 50, LastEvent: 250}
+	a.Merge(b)
+	if a.Done != 3 || a.Failed != 1 || a.Skipped != 2 || a.Quarantined != 1 || !a.Torn {
+		t.Errorf("merged = %+v", a)
+	}
+	if want := []string{"a/b", "x/b"}; !reflect.DeepEqual(a.InFlight, want) {
+		t.Errorf("InFlight = %v, want %v", a.InFlight, want)
+	}
+	if a.FirstStart != 50 || a.LastEvent != 300 {
+		t.Errorf("activity bounds = %d..%d, want 50..300", a.FirstStart, a.LastEvent)
+	}
+	// Merging a zero summary leaves the bounds alone.
+	a.Merge(Progress{})
+	if a.FirstStart != 50 || a.LastEvent != 300 {
+		t.Errorf("zero merge moved bounds: %d..%d", a.FirstStart, a.LastEvent)
+	}
+}

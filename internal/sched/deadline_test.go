@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spear/internal/journal"
+)
+
+// slowLoop spins for hundreds of millions of cycles — far past any test
+// deadline — so an expired deadline must preempt it mid-simulation via
+// the cycle simulator's 64K-cycle cancellation poll, not between runs.
+const slowLoop = `
+main:   li r1, 0
+        li r2, 400000000
+loop:   addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+`
+
+// TestDeadlinePropagatesToSimulator is the deadline-propagation
+// acceptance test: a per-request deadline that expires mid-run must
+//
+//  1. surface as a typed *DeadlineError that errors.Is-matches
+//     context.DeadlineExceeded,
+//  2. observably stop the cycle simulator at its next 64K-cycle poll
+//     (the job finishes promptly, nowhere near the simulation's natural
+//     wall time), and
+//  3. leave the journal recording the run as interrupted — started with
+//     no terminal record — not failed, so a resubmission resumes it.
+func TestDeadlinePropagatesToSimulator(t *testing.T) {
+	dataDir := t.TempDir()
+	req := Request{Kernels: []string{"glacier"}, Configs: []string{"baseline"}, Seed: 1, DeadlineMS: 150}
+
+	s := New(staticEngine(t, tinyOptions(), slowLoop), Config{Workers: 1, DataDir: dataDir})
+	defer s.Close()
+
+	t0 := time.Now()
+	job, _, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, job)
+	elapsed := time.Since(t0)
+
+	if snap.State != JobInterrupted {
+		t.Fatalf("state = %s (%s), want interrupted", snap.State, snap.Error)
+	}
+	rep, _, jerr := job.Result()
+	if !errors.Is(jerr, context.DeadlineExceeded) {
+		t.Errorf("job error %v does not match context.DeadlineExceeded", jerr)
+	}
+	var de *DeadlineError
+	if !errors.As(jerr, &de) {
+		t.Fatalf("job error %v is not a *DeadlineError", jerr)
+	}
+	if de.ID != job.ID || de.Limit != 150*time.Millisecond {
+		t.Errorf("DeadlineError = %+v, want ID %s limit 150ms", de, job.ID)
+	}
+	if rep == nil || !rep.Interrupted {
+		t.Errorf("interrupted job's report = %+v, want partial report marked interrupted", rep)
+	}
+
+	// The 400M-iteration loop takes many seconds uninterrupted; the
+	// cooperative poll must stop it within a small multiple of the
+	// deadline. Generous bound for slow CI machines.
+	if elapsed > 10*time.Second {
+		t.Errorf("deadline took %s to preempt the simulator", elapsed)
+	}
+
+	// Journal: the run started but has no terminal record — interrupted,
+	// not failed — which is exactly what makes it resumable.
+	st, err := journal.Load(s.JournalDir(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.InFlight) != 1 {
+		t.Errorf("journal in-flight runs = %d, want 1", len(st.InFlight))
+	}
+	for key, rec := range st.Terminal {
+		t.Errorf("journal has terminal record %s = %s; an expired deadline must not mark runs failed", key, rec.Status)
+	}
+}
+
+// TestDefaultAndMaxDeadline pins the deadline resolution rules: a
+// request with none inherits the scheduler default, and MaxDeadline
+// clamps both requested and unbounded deadlines.
+func TestDefaultAndMaxDeadline(t *testing.T) {
+	s := &Scheduler{cfg: Config{DefaultDeadline: 10 * time.Second, MaxDeadline: time.Minute}}
+	cases := []struct {
+		reqMS int64
+		want  time.Duration
+	}{
+		{0, 10 * time.Second},    // default applies
+		{5_000, 5 * time.Second}, // explicit under the cap
+		{600_000, time.Minute},   // explicit over the cap: clamped
+	}
+	for _, c := range cases {
+		if got := s.effectiveDeadline(Request{DeadlineMS: c.reqMS}); got != c.want {
+			t.Errorf("effectiveDeadline(%dms) = %s, want %s", c.reqMS, got, c.want)
+		}
+	}
+	unbounded := &Scheduler{cfg: Config{MaxDeadline: time.Minute}}
+	if got := unbounded.effectiveDeadline(Request{}); got != time.Minute {
+		t.Errorf("no default + MaxDeadline: deadline = %s, want the clamp %s", got, time.Minute)
+	}
+	open := &Scheduler{}
+	if got := open.effectiveDeadline(Request{}); got != 0 {
+		t.Errorf("no limits: deadline = %s, want 0 (unbounded)", got)
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed admission and lifecycle errors. Load shedding is never silent:
+// every rejected submission gets a typed error carrying a Retry-After
+// estimate, which speard translates into HTTP 429/503 + a Retry-After
+// header and in-process callers can errors.As on.
+
+// ErrBadRequest marks a submission the engine cannot execute (unknown
+// kernel or machine config). Wrap with %w so speard maps it to HTTP 400.
+var ErrBadRequest = errors.New("sched: bad request")
+
+// ErrClosed marks a submission against a scheduler that was shut down.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrDrainTimeout is returned by Drain when the grace period expired and
+// in-flight jobs had to be preempted. Their runs are journaled; a
+// resubmission after restart resumes them — this is exit code 3
+// (exitcode.Partial) territory, not data loss.
+var ErrDrainTimeout = errors.New("sched: drain timed out; in-flight jobs preempted (journaled; resubmit to resume)")
+
+// ErrInterrupted marks a job preempted by scheduler shutdown or drain
+// (as opposed to its own deadline). Completed runs are journaled;
+// resubmitting the identical request resumes from them.
+var ErrInterrupted = errors.New("sched: job interrupted before completion; resubmit to resume from its journal")
+
+// ShedReason is the typed reason stamped on queued jobs evicted by a
+// drain: admitted work is never silently dropped, it is accounted.
+const ShedReason = "shed: scheduler draining before the job started (nothing journaled; resubmit later)"
+
+// QueueFullError rejects a submission because the bounded admission
+// queue is at capacity. speard renders it as HTTP 429 + Retry-After.
+type QueueFullError struct {
+	Depth      int           // the configured queue bound
+	RetryAfter time.Duration // when capacity is plausibly available again
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sched: admission queue full (%d queued); retry after %s", e.Depth, e.RetryAfter.Round(time.Second))
+}
+
+// ClientLimitError rejects a submission because the client already has
+// its maximum number of live (queued or running) jobs.
+type ClientLimitError struct {
+	Client     string
+	Limit      int
+	RetryAfter time.Duration
+}
+
+func (e *ClientLimitError) Error() string {
+	return fmt.Sprintf("sched: client %q at its concurrency cap (%d live jobs); retry after %s", e.Client, e.Limit, e.RetryAfter.Round(time.Second))
+}
+
+// DrainingError rejects a submission because the scheduler has entered
+// graceful drain and is no longer admitting work. speard renders it as
+// HTTP 503 + Retry-After.
+type DrainingError struct {
+	RetryAfter time.Duration
+}
+
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("sched: draining; not admitting work (retry after %s)", e.RetryAfter.Round(time.Second))
+}
+
+// DeadlineError is the typed outcome of a job whose per-request deadline
+// expired mid-sweep. It wraps context.DeadlineExceeded so errors.Is
+// matches, and its runs are recorded in the journal as interrupted
+// (started without a terminal record) — not failed — so a resubmission
+// with a roomier deadline resumes rather than repeats them.
+type DeadlineError struct {
+	ID    string        // the job (request) key
+	Limit time.Duration // the effective deadline that expired
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sched: job %s exceeded its %s deadline; completed runs are journaled — resubmit to resume", e.ID, e.Limit)
+}
+
+func (e *DeadlineError) Unwrap() error { return context.DeadlineExceeded }
+
+// RetryAfterOf extracts the Retry-After estimate from a typed admission
+// error (0 when err carries none).
+func RetryAfterOf(err error) time.Duration {
+	var qf *QueueFullError
+	var cl *ClientLimitError
+	var dr *DrainingError
+	switch {
+	case errors.As(err, &qf):
+		return qf.RetryAfter
+	case errors.As(err, &cl):
+		return cl.RetryAfter
+	case errors.As(err, &dr):
+		return dr.RetryAfter
+	}
+	return 0
+}
