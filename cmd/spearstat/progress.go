@@ -92,7 +92,11 @@ func progressLine(dir string) (string, error) {
 }
 
 // serverProgress is the subset of speard's /v1/progress response
-// spearstat renders (the full shape is sched.Progress).
+// spearstat renders (the full shape is sched.Progress). Pointed at a
+// spearproxy instead, the same endpoint carries the cluster-merged
+// aggregate plus a per-shard health list (router.ClusterProgress); the
+// shards field is simply absent on a single speard, so one decoder
+// serves both.
 type serverProgress struct {
 	JobsQueued      int              `json:"jobs_queued"`
 	JobsRunning     int              `json:"jobs_running"`
@@ -101,6 +105,43 @@ type serverProgress struct {
 	JobsInterrupted int              `json:"jobs_interrupted"`
 	JobsShed        int              `json:"jobs_shed"`
 	Runs            journal.Progress `json:"runs"`
+	Shards          []shardHealth    `json:"shards"`
+}
+
+// shardHealth mirrors router.ShardHealth on the wire.
+type shardHealth struct {
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	BreakerOpen bool   `json:"breaker_open"`
+	Error       string `json:"error"`
+}
+
+// renderShardBanner folds the per-shard health list into the cluster
+// banner segment: a ready count, then one annotation per shard that is
+// not plainly ready ("addr: down (connection refused)").
+func renderShardBanner(shards []shardHealth) string {
+	ready := 0
+	var trouble []string
+	for _, s := range shards {
+		if s.State == "ready" && !s.BreakerOpen {
+			ready++
+			continue
+		}
+		note := s.Addr + ": " + s.State
+		if s.BreakerOpen {
+			note += " (breaker open)"
+		}
+		if s.Error != "" {
+			note += " (" + s.Error + ")"
+		}
+		trouble = append(trouble, note)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d/%d shards ready", ready, len(shards))
+	if len(trouble) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(trouble, "; "))
+	}
+	return b.String()
 }
 
 // addrLine fetches and renders one progress line from a running speard.
@@ -123,6 +164,10 @@ func addrLine(addr string) (string, error) {
 		return "", fmt.Errorf("%s/v1/progress: %w", base, err)
 	}
 	var b strings.Builder
+	if len(sp.Shards) > 0 {
+		b.WriteString(renderShardBanner(sp.Shards))
+		b.WriteString(" | ")
+	}
 	fmt.Fprintf(&b, "speard: %d queued, %d running, %d done, %d failed, %d interrupted",
 		sp.JobsQueued, sp.JobsRunning, sp.JobsDone, sp.JobsFailed, sp.JobsInterrupted)
 	if sp.JobsShed > 0 {

@@ -23,6 +23,8 @@
 //	  4   spearsim                 interrupted by SIGINT/SIGTERM
 //	      spearstat -bench         benchmark regression past threshold
 //	  5   spearbench -fsck         journal damage found by the integrity walk
+//	  6   spearproxy               no usable backends: none configured, or
+//	                               every configured shard unreachable at start
 //
 // Codes 2/3/4 carry two names each where two binaries share the number;
 // the aliases keep call sites self-describing without renumbering a
@@ -63,4 +65,10 @@ const (
 	// FsckDamaged is spearbench -fsck finding torn or corrupt journal
 	// records.
 	FsckDamaged = 5
+
+	// NoBackends is spearproxy refusing to start (or continue) with an
+	// empty backend set: none were configured, or the flag parsed to
+	// nothing usable. Distinct from Err so a supervisor can tell a
+	// misconfigured cluster from a crashed proxy.
+	NoBackends = 6
 )

@@ -38,6 +38,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -102,6 +103,32 @@ type Record struct {
 // ErrBadRecord marks a malformed interior journal record (real
 // corruption, as opposed to a torn final line from a crash mid-write).
 var ErrBadRecord = errors.New("journal: malformed record")
+
+// reportKeyPrefix reserves a key namespace for whole-request report
+// records: the completed-report index (internal/store) appends the
+// final assembled report of a finished sweep as one more journal record,
+// keyed "report/<request key>", so the report rides the same CRC-framed,
+// fsync'd, quarantine-on-corruption machinery as every run record. Run
+// keys are hex content hashes and can never collide with the prefix.
+const reportKeyPrefix = "report/"
+
+// ReportKey derives the journal key under which a request's completed
+// report is stored (see internal/store).
+func ReportKey(requestKey string) string { return reportKeyPrefix + requestKey }
+
+// IsReportKey reports whether key names a stored report rather than a
+// run. Progress summaries and fsck run-state counts exclude report
+// records — they describe the sweep's runs, not its cached artifact.
+func IsReportKey(key string) bool { return strings.HasPrefix(key, reportKeyPrefix) }
+
+// RequestKeyOf returns the request key a report record indexes ("" if
+// key is not a report key).
+func RequestKeyOf(key string) string {
+	if !IsReportKey(key) {
+		return ""
+	}
+	return key[len(reportKeyPrefix):]
+}
 
 func (r Record) validate() error {
 	if !r.Status.known() {

@@ -25,6 +25,10 @@ type Progress struct {
 	// nanoseconds; zero when no record carried a timestamp).
 	FirstStart int64 `json:"first_start,omitempty"`
 	LastEvent  int64 `json:"last_event,omitempty"`
+	// Reports counts stored whole-request report records (see
+	// internal/store); they index finished sweeps and are excluded from
+	// the run-state counts above.
+	Reports int `json:"reports,omitempty"`
 }
 
 // Progress folds the replayed state down to its progress summary.
@@ -36,6 +40,10 @@ func (st *State) Progress() Progress {
 		LastEvent:   st.LastEvent,
 	}
 	for _, rec := range st.Terminal {
+		if IsReportKey(rec.Key) {
+			p.Reports++
+			continue
+		}
 		switch rec.Status {
 		case StatusDone:
 			p.Done++
@@ -46,6 +54,9 @@ func (st *State) Progress() Progress {
 		}
 	}
 	for _, rec := range st.InFlight {
+		if IsReportKey(rec.Key) {
+			continue // a report key is never started, but never count one
+		}
 		name := rec.Kernel
 		if rec.Config != "" {
 			name += "/" + rec.Config
@@ -73,6 +84,7 @@ func (p *Progress) Merge(q Progress) {
 	sort.Strings(p.InFlight)
 	p.Torn = p.Torn || q.Torn
 	p.Quarantined += q.Quarantined
+	p.Reports += q.Reports
 	if q.FirstStart != 0 && (p.FirstStart == 0 || q.FirstStart < p.FirstStart) {
 		p.FirstStart = q.FirstStart
 	}

@@ -55,3 +55,99 @@ func TestProgressMerge(t *testing.T) {
 		t.Errorf("zero merge moved bounds: %d..%d", a.FirstStart, a.LastEvent)
 	}
 }
+
+// TestProgressMergeEdgeCases covers the boundaries the cluster view
+// leans on when merging per-shard summaries.
+func TestProgressMergeEdgeCases(t *testing.T) {
+	t.Run("zero-into-zero", func(t *testing.T) {
+		var a Progress
+		a.Merge(Progress{})
+		if !reflect.DeepEqual(a, Progress{}) {
+			t.Errorf("zero merge produced %+v", a)
+		}
+	})
+
+	t.Run("bounds-from-other-side-only", func(t *testing.T) {
+		// p has no timestamps (old journal); q's bounds must be adopted
+		// wholesale, not compared against p's zeros.
+		var a Progress
+		a.Merge(Progress{FirstStart: 500, LastEvent: 900})
+		if a.FirstStart != 500 || a.LastEvent != 900 {
+			t.Errorf("bounds = %d..%d, want 500..900", a.FirstStart, a.LastEvent)
+		}
+		// And the reverse: merging a timestamp-less q changes nothing.
+		a.Merge(Progress{Done: 1})
+		if a.FirstStart != 500 || a.LastEvent != 900 {
+			t.Errorf("timestamp-less merge moved bounds: %d..%d", a.FirstStart, a.LastEvent)
+		}
+	})
+
+	t.Run("reports-accumulate", func(t *testing.T) {
+		a := Progress{Reports: 2}
+		a.Merge(Progress{Reports: 3})
+		if a.Reports != 5 {
+			t.Errorf("Reports = %d, want 5", a.Reports)
+		}
+	})
+
+	t.Run("torn-is-sticky", func(t *testing.T) {
+		a := Progress{Torn: true}
+		a.Merge(Progress{})
+		if !a.Torn {
+			t.Error("merging a clean summary cleared Torn")
+		}
+	})
+
+	t.Run("inflight-stays-sorted-with-duplicates", func(t *testing.T) {
+		// Two shards can legitimately both run the same kernel/config
+		// (distinct requests); the merged list keeps both entries, sorted.
+		a := Progress{InFlight: []string{"k/b", "z/c"}}
+		a.Merge(Progress{InFlight: []string{"a/x", "k/b"}})
+		if want := []string{"a/x", "k/b", "k/b", "z/c"}; !reflect.DeepEqual(a.InFlight, want) {
+			t.Errorf("InFlight = %v, want %v", a.InFlight, want)
+		}
+	})
+
+	t.Run("associative-over-three-shards", func(t *testing.T) {
+		p1 := Progress{Done: 1, FirstStart: 300, LastEvent: 400}
+		p2 := Progress{Done: 2, FirstStart: 100, LastEvent: 200, Reports: 1}
+		p3 := Progress{Failed: 1, FirstStart: 200, LastEvent: 500, Torn: true}
+
+		left := p1
+		left.Merge(p2)
+		left.Merge(p3)
+		mid := p2
+		mid.Merge(p3)
+		right := p1
+		right.Merge(mid)
+		if !reflect.DeepEqual(left, right) {
+			t.Errorf("merge not associative:\n(p1+p2)+p3 = %+v\np1+(p2+p3) = %+v", left, right)
+		}
+		if left.Done != 3 || left.Failed != 1 || left.FirstStart != 100 || left.LastEvent != 500 || !left.Torn || left.Reports != 1 {
+			t.Errorf("three-way merge = %+v", left)
+		}
+	})
+}
+
+// TestStateProgressSkipsReportRecords pins the namespace split: stored
+// report records count as Reports, never as runs — done, in-flight, or
+// otherwise.
+func TestStateProgressSkipsReportRecords(t *testing.T) {
+	st := Replay([]Record{
+		{Status: StatusStarted, Key: "a", Kernel: "mcf", Config: "baseline", T: 100},
+		{Status: StatusDone, Key: "a", Kernel: "mcf", Config: "baseline", T: 200},
+		{Status: StatusDone, Key: ReportKey("deadbeef"), T: 300},
+		// A pathological started report record must not show in flight.
+		{Status: StatusStarted, Key: ReportKey("cafe"), T: 400},
+	}, false)
+	p := st.Progress()
+	if p.Done != 1 {
+		t.Errorf("Done = %d, want 1 (report record counted as a run)", p.Done)
+	}
+	if p.Reports != 1 {
+		t.Errorf("Reports = %d, want 1", p.Reports)
+	}
+	if len(p.InFlight) != 0 {
+		t.Errorf("InFlight = %v, want empty", p.InFlight)
+	}
+}

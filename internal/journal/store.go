@@ -108,6 +108,9 @@ type FsckReport struct {
 	Records, V1, V2 int
 	// Done/Failed/Skipped/InFlight summarize the replayed run states.
 	Done, Failed, Skipped, InFlight int
+	// Reports counts stored whole-request report records (the completed-
+	// report index's entries; excluded from the run-state counts).
+	Reports int
 	// Bad lists interior records failing framing, checksum, or validity.
 	Bad []Quarantined
 	// Torn reports a damaged final record (crash mid-append).
@@ -130,6 +133,9 @@ func (r *FsckReport) Summary() string {
 	}
 	fmt.Fprintf(&b, "journal %s: %d records (%d v2, %d v1): %d done, %d failed, %d skipped, %d in flight\n",
 		r.Dir, r.Records, r.V2, r.V1, r.Done, r.Failed, r.Skipped, r.InFlight)
+	if r.Reports > 0 {
+		fmt.Fprintf(&b, "  %d stored report(s) in the completed-report index\n", r.Reports)
+	}
 	if r.Torn {
 		fmt.Fprintf(&b, "  torn final record (crash mid-append; its run re-executes on resume)\n")
 	}
@@ -170,6 +176,10 @@ func Fsck(fsys iofault.FS, dir string) (*FsckReport, error) {
 	rep.Bad, rep.Torn = sr.Bad, sr.Torn
 	st := Replay(sr.Recs, sr.Torn)
 	for _, rec := range st.Terminal {
+		if IsReportKey(rec.Key) {
+			rep.Reports++
+			continue
+		}
 		switch rec.Status {
 		case StatusDone:
 			rep.Done++

@@ -1,0 +1,99 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker over connection-level
+// failures. Closed passes traffic; Threshold consecutive failures open
+// it for Cooldown, during which the backend is skipped outright (no
+// connection attempts, no per-request timeout burned on a dead shard).
+// After the cooldown one probe request is allowed through (half-open);
+// its outcome closes or re-opens the circuit.
+//
+// Only transport failures count: an HTTP response — any status — proves
+// the shard is alive, so 4xx/5xx answers reset the failure streak.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool // half-open probe in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may be sent. In the open state it
+// admits exactly one probe once the cooldown has elapsed.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful exchange (any HTTP response).
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.probing = false
+}
+
+// Failure records a transport failure; returns true if this one opened
+// (or re-opened) the circuit.
+func (b *breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.open {
+		// Failed probe: restart the cooldown.
+		b.openedAt = b.now()
+		return true
+	}
+	if b.failures >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// Open reports whether the circuit is currently open, and if so how
+// long until the next probe is admitted.
+func (b *breaker) Open() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return false, 0
+	}
+	rem := b.cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		rem = 0
+	}
+	return true, rem
+}

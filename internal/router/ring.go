@@ -1,0 +1,90 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend addresses. Each backend
+// contributes vnodesPerBackend points (SHA-256 of "addr|i") so load
+// spreads evenly even with a handful of shards; a request key owns the
+// first point clockwise of its own hash. Successors returns the
+// backends in ring order from that point, deduplicated — the failover
+// order. Because jobs are keyed by the request's content hash and every
+// shard dedups by that key, re-routing a request to the successor after
+// a shard failure is always safe: the worst case is one re-execution
+// that converges to the byte-identical report.
+type ring struct {
+	points   []uint64 // sorted hash points
+	owners   []int    // owners[i] = backend index of points[i]
+	backends []string
+}
+
+const vnodesPerBackend = 64
+
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring over the given backend addresses (order is
+// preserved for reporting; ring positions depend only on the strings).
+func newRing(backends []string) *ring {
+	r := &ring{backends: backends}
+	type pt struct {
+		h     uint64
+		owner int
+	}
+	pts := make([]pt, 0, len(backends)*vnodesPerBackend)
+	for bi, addr := range backends {
+		for i := 0; i < vnodesPerBackend; i++ {
+			pts = append(pts, pt{hashPoint(fmt.Sprintf("%s|%d", addr, i)), bi})
+		}
+	}
+	sort.Slice(pts, func(i, k int) bool {
+		if pts[i].h != pts[k].h {
+			return pts[i].h < pts[k].h
+		}
+		// Tie-break deterministically so ring order never depends on
+		// sort stability.
+		return pts[i].owner < pts[k].owner
+	})
+	r.points = make([]uint64, len(pts))
+	r.owners = make([]int, len(pts))
+	for i, p := range pts {
+		r.points[i] = p.h
+		r.owners[i] = p.owner
+	}
+	return r
+}
+
+// Owner returns the backend address owning the key ("" on an empty ring).
+func (r *ring) Owner(key string) string {
+	succ := r.Successors(key)
+	if len(succ) == 0 {
+		return ""
+	}
+	return succ[0]
+}
+
+// Successors returns every backend in ring order starting at the key's
+// owner: the order candidates are tried when shards fail.
+func (r *ring) Successors(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	out := make([]string, 0, len(r.backends))
+	seen := make(map[int]bool, len(r.backends))
+	for n := 0; n < len(r.points) && len(out) < len(r.backends); n++ {
+		owner := r.owners[(i+n)%len(r.points)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, r.backends[owner])
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"spear/internal/iofault"
 	"spear/internal/journal"
 	"spear/internal/perf"
+	"spear/internal/store"
 )
 
 // JobState is a job's position in the admission lifecycle.
@@ -48,6 +50,8 @@ type Job struct {
 	state    JobState
 	err      error           // terminal error (failed/interrupted/shed)
 	report   *harness.Report // set when done (or interrupted with partial rows)
+	raw      []byte          // the report's canonical serialized bytes
+	cacheHit bool            // served from the completed-report store, not executed
 	stats    JournalStats
 	deduped  int       // submissions coalesced onto this job beyond the first
 	created  time.Time // first admission
@@ -66,6 +70,7 @@ type Snapshot struct {
 	Deduped  int       `json:"deduped,omitempty"`
 	Replayed int       `json:"replayed,omitempty"`
 	Torn     bool      `json:"torn,omitempty"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
@@ -78,7 +83,8 @@ func (job *Job) Snapshot() Snapshot {
 	s := Snapshot{
 		ID: job.ID, State: job.state, Req: job.Req,
 		Deduped: job.deduped, Replayed: job.stats.Replayed, Torn: job.stats.Torn,
-		Created: job.created, Started: job.started, Finished: job.finished,
+		CacheHit: job.cacheHit,
+		Created:  job.created, Started: job.started, Finished: job.finished,
 	}
 	if job.err != nil {
 		s.Error = job.err.Error()
@@ -95,6 +101,17 @@ func (job *Job) Result() (*harness.Report, JournalStats, error) {
 		return nil, JournalStats{}, nil
 	}
 	return job.report, job.stats, job.err
+}
+
+// RawReport returns the report's canonical serialized bytes once the
+// job is done — either the bytes persisted to the completed-report
+// store, or the bytes it was served from on a cache hit. Serving these
+// exact bytes (rather than re-encoding the parsed report) is what makes
+// a cache hit provably byte-identical to the original response.
+func (job *Job) RawReport() []byte {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	return job.raw
 }
 
 // Wait blocks until the job reaches a terminal state or ctx expires.
@@ -134,6 +151,12 @@ type Config struct {
 	DataDir string
 	// FS is the filesystem journals live on (nil = the real one).
 	FS iofault.FS
+	// Store is the durable completed-report index (nil = none). Submit
+	// consults it before admitting: a request whose report is already
+	// stored comes back as a done job — report served straight from
+	// disk, zero re-execution — and every completed job's report is
+	// persisted into it, so doneness survives a process restart.
+	Store *store.Index
 	// Perf receives scheduler counters and journal I/O metrics. It is
 	// deliberately NOT handed to the engine: per-run timing in reports
 	// would break byte-identical convergence.
@@ -257,6 +280,9 @@ func (s *Scheduler) Submit(req Request) (job *Job, coalesced bool, err error) {
 		// Failed, interrupted, or shed: resubmission re-runs (resuming
 		// from the journal when one exists), through normal admission.
 	}
+	if job := s.storeHitLocked(id, req); job != nil {
+		return job, true, nil
+	}
 	if s.draining {
 		return nil, false, &DrainingError{RetryAfter: s.retryAfterLocked()}
 	}
@@ -293,6 +319,42 @@ func (s *Scheduler) Submit(req Request) (job *Job, coalesced bool, err error) {
 	s.cond.Signal()
 	s.logf("sched: job %s queued (client=%s queue=%d)", shortID(id), client, len(s.queue))
 	return job, false, nil
+}
+
+// storeHitLocked consults the completed-report store for a request
+// whose report is already durable — the restart path, where the jobs
+// map is empty but the index knows the work is done. On a hit it
+// materializes a done job (cacheHit=true) carrying the stored bytes,
+// so the transport serves them without re-admitting anything. The
+// consult runs even while draining: serving a finished report is a
+// read, not new work. Returns nil on a miss (including a stored blob
+// that fails report decoding — then the request re-runs; dedup by
+// content hash makes the re-run converge to the same bytes).
+func (s *Scheduler) storeHitLocked(id string, req Request) *Job {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	raw, entry, err := s.cfg.Store.Get(id)
+	if err != nil {
+		return nil
+	}
+	rep, err := harness.ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		s.logf("sched: job %s stored report undecodable (%v); re-running", shortID(id), err)
+		return nil
+	}
+	job := &Job{ID: id, Req: req, created: time.Now()}
+	job.state = JobDone
+	job.report = rep
+	job.raw = raw
+	job.cacheHit = true
+	job.started, job.finished = entry.Completed, entry.Completed
+	job.done = make(chan struct{})
+	close(job.done)
+	s.jobs[id] = job
+	s.cfg.Perf.Counter("sched.store.hits").Add(1)
+	s.logf("sched: job %s done (report store hit)", shortID(id))
+	return job
 }
 
 // Job returns the job with the given ID (request key), if any.
@@ -425,10 +487,30 @@ func (s *Scheduler) execute(job *Job) {
 		}
 	}
 
+	// A finished report becomes durable before the job is announced
+	// done: serialize once (these bytes are both the store record and
+	// what the transport serves), persist, then flip the state. A crash
+	// after the Put re-serves the stored bytes on restart; a crash
+	// before it re-runs the sweep, which dedup + the journal make safe.
+	var raw []byte
+	if state == JobDone && rep != nil {
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err == nil {
+			raw = buf.Bytes()
+			if s.cfg.Store != nil {
+				if perr := s.cfg.Store.Put(job.ID, raw, time.Now()); perr != nil {
+					s.cfg.Perf.Counter("sched.store.put_errors").Add(1)
+					s.logf("sched: job %s report not persisted: %v", shortID(job.ID), perr)
+				}
+			}
+		}
+	}
+
 	dur := time.Since(job.Snapshot().Started)
 	job.mu.Lock()
 	job.state = state
 	job.report = rep
+	job.raw = raw
 	job.stats = stats
 	job.err = terr
 	job.finished = time.Now()
@@ -602,6 +684,20 @@ func (s *Scheduler) Progress() Progress {
 		}
 	}
 	return p
+}
+
+// Merge folds another scheduler's progress into p — the router
+// aggregates one Progress per live shard into a cluster-wide view.
+// Job counts add; the run-level journal summaries merge through
+// journal.Progress.Merge.
+func (p *Progress) Merge(q Progress) {
+	p.JobsQueued += q.JobsQueued
+	p.JobsRunning += q.JobsRunning
+	p.JobsDone += q.JobsDone
+	p.JobsFailed += q.JobsFailed
+	p.JobsInterrupted += q.JobsInterrupted
+	p.JobsShed += q.JobsShed
+	p.Runs.Merge(q.Runs)
 }
 
 func shortID(id string) string {

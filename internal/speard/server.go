@@ -177,7 +177,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleReport streams the finished report. The bytes come straight
 // from harness.Report.WriteJSON — the same writer spearbench -json
 // uses — so a report fetched here is byte-identical to one written at
-// a shell, which is the property the torture tests pin.
+// a shell, which is the property the torture tests pin. A job whose
+// report came from the completed-report store serves the stored bytes
+// verbatim and says so with X-Spear-Cache: hit; a freshly executed job
+// answers X-Spear-Cache: miss.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
 	if !ok {
@@ -196,6 +199,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: msg})
 	default:
 		w.Header().Set("Content-Type", "application/json")
+		cache := "miss"
+		if snap.CacheHit {
+			cache = "hit"
+		}
+		w.Header().Set("X-Spear-Cache", cache)
+		if raw := job.RawReport(); raw != nil {
+			_, _ = w.Write(raw)
+			return
+		}
 		_ = rep.WriteJSON(w)
 	}
 }

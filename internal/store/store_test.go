@@ -1,0 +1,342 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spear/internal/journal"
+	"spear/internal/perf"
+)
+
+func mustOpen(t *testing.T, cfg Config) *Index {
+	t.Helper()
+	ix, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func testReport(tag string) []byte {
+	return []byte(`{"schema":"spear-report/2","experiment":"` + tag + `","rows":[]}` + "\n")
+}
+
+// TestPutGetRoundTrip pins the core contract: bytes out == bytes in,
+// across a fresh Open of the same data dir (the restart path).
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ix := mustOpen(t, Config{Dir: dir})
+	want := testReport("rt")
+	if err := ix.Put("aaaa", want, time.Unix(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, e, err := ix.Get("aaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Get = %q, want %q", got, want)
+	}
+	if e.Bytes != len(want) || !e.Completed.Equal(time.Unix(100, 0)) {
+		t.Errorf("entry = %+v", e)
+	}
+
+	// A fresh index over the same dir re-discovers the report from disk.
+	ix2 := mustOpen(t, Config{Dir: dir})
+	if ix2.Len() != 1 {
+		t.Fatalf("reopened index has %d entries, want 1", ix2.Len())
+	}
+	got2, _, err := ix2.Get("aaaa")
+	if err != nil || !bytes.Equal(got2, want) {
+		t.Errorf("reopened Get = %q, %v", got2, err)
+	}
+}
+
+func TestMissingKeyAndMissingDir(t *testing.T) {
+	ix := mustOpen(t, Config{Dir: filepath.Join(t.TempDir(), "never-created")})
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if _, _, err := ix.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get err = %v, want ErrNotFound", err)
+	}
+}
+
+// corruptReportRecord flips one byte inside the stored report record's
+// payload, simulating silent media corruption the CRC must catch.
+func corruptReportRecord(t *testing.T, dir, key string) {
+	t.Helper()
+	path := filepath.Join(dir, key+DirSuffix, journal.FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte(journal.ReportKey(key)))
+	if idx < 0 {
+		t.Fatalf("no report record in %s", path)
+	}
+	data[idx+len(journal.ReportKey(key))+20] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendRunRecord appends one run record after the report record, the
+// position a real recovery sequence produces (damage found → store miss
+// → resubmission appends new run records after the damaged line). It
+// makes corruption of the report record *interior* damage, which the
+// journal's taxonomy quarantines rather than trims.
+func appendRunRecord(t *testing.T, dir, key string) {
+	t.Helper()
+	w, err := journal.Open(filepath.Join(dir, key+DirSuffix), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.Record{Status: journal.StatusStarted, Key: "rerun", Kernel: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptReportQuarantinedNotServed is the integrity acceptance
+// shape: a bit-flipped report record is quarantined to the sidecar and
+// reported as damage — never served — both when the corruption is found
+// at Open and when it lands between an Open and a Get.
+func TestCorruptReportQuarantinedNotServed(t *testing.T) {
+	t.Run("found-at-open", func(t *testing.T) {
+		dir := t.TempDir()
+		reg := perf.NewRegistry()
+		ix := mustOpen(t, Config{Dir: dir})
+		if err := ix.Put("abcd", testReport("x"), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		corruptReportRecord(t, dir, "abcd")
+		appendRunRecord(t, dir, "abcd")
+
+		ix2 := mustOpen(t, Config{Dir: dir, Perf: reg})
+		if ix2.Len() != 0 {
+			t.Fatalf("corrupt report indexed: %v", ix2.Keys())
+		}
+		if _, _, err := ix2.Get("abcd"); err == nil {
+			t.Fatal("corrupt report served")
+		}
+		side := filepath.Join(dir, "abcd"+DirSuffix, journal.QuarantineName)
+		if st, err := os.Stat(side); err != nil || st.Size() == 0 {
+			t.Errorf("quarantine sidecar missing or empty: %v", err)
+		}
+	})
+
+	t.Run("found-at-get", func(t *testing.T) {
+		dir := t.TempDir()
+		ix := mustOpen(t, Config{Dir: dir})
+		if err := ix.Put("abcd", testReport("y"), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		corruptReportRecord(t, dir, "abcd") // after Open indexed it
+		appendRunRecord(t, dir, "abcd")
+		if _, _, err := ix.Get("abcd"); !errors.Is(err, ErrDamaged) {
+			t.Fatalf("Get on corrupt record = %v, want ErrDamaged", err)
+		}
+		// The entry dropped out; the next Get is a plain miss.
+		if _, _, err := ix.Get("abcd"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get after quarantine = %v, want ErrNotFound", err)
+		}
+	})
+
+	// Damage on the journal's final line cannot be told apart from a
+	// torn append: it is trimmed, not quarantined — but still never
+	// served, which is the property that matters.
+	t.Run("final-line-damage-trimmed", func(t *testing.T) {
+		dir := t.TempDir()
+		ix := mustOpen(t, Config{Dir: dir})
+		if err := ix.Put("abcd", testReport("z"), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		corruptReportRecord(t, dir, "abcd") // report record is the final line
+		ix2 := mustOpen(t, Config{Dir: dir})
+		if ix2.Len() != 0 {
+			t.Fatalf("torn-tail report indexed: %v", ix2.Keys())
+		}
+		if _, _, err := ix2.Get("abcd"); err == nil {
+			t.Fatal("torn-tail report served")
+		}
+	})
+}
+
+// TestTTLBoundaries pins the expiry edge exactly: a report strictly
+// younger than TTL is served; one exactly TTL old is expired (inclusive
+// boundary), and its directory is deleted.
+func TestTTLBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	ix := mustOpen(t, Config{Dir: dir, TTL: time.Hour, Now: clock})
+
+	if err := ix.Put("young", testReport("a"), now.Add(-time.Hour+time.Nanosecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put("exact", testReport("b"), now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put("old", testReport("c"), now.Add(-2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := ix.Get("young"); err != nil {
+		t.Errorf("one-ns-inside-TTL entry not served: %v", err)
+	}
+	if _, _, err := ix.Get("exact"); !errors.Is(err, ErrExpired) {
+		t.Errorf("exactly-TTL-old entry = %v, want ErrExpired", err)
+	}
+	if _, _, err := ix.Get("old"); !errors.Is(err, ErrExpired) {
+		t.Errorf("past-TTL entry = %v, want ErrExpired", err)
+	}
+	for _, key := range []string{"exact", "old"} {
+		if _, err := os.Stat(filepath.Join(dir, key+DirSuffix)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("expired dir %s.journal still exists (err=%v)", key, err)
+		}
+	}
+
+	// An expired entry stays gone across a reopen, and Open itself
+	// expires entries that aged out while the process was down.
+	if err := ix.Put("ages-out", testReport("d"), now.Add(-30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put("fresh", testReport("e"), now); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(31 * time.Minute)
+	ix2 := mustOpen(t, Config{Dir: dir, TTL: time.Hour, Now: clock})
+	if _, ok := ix2.Lookup("ages-out"); ok {
+		t.Error("entry that aged out while down survived reopen")
+	}
+	if _, ok := ix2.Lookup("fresh"); !ok {
+		t.Error("still-fresh entry lost on reopen")
+	}
+}
+
+// TestExpireSweep exercises the explicit sweep path speard's ticker
+// drives, including the zero-TTL never-expires contract.
+func TestExpireSweep(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(5000, 0)
+	ix := mustOpen(t, Config{Dir: dir, TTL: time.Minute, Now: func() time.Time { return now }})
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := ix.Put(k, testReport(k), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ix.Expire(now.Add(30 * time.Second)); n != 0 {
+		t.Errorf("early sweep expired %d", n)
+	}
+	if n := ix.Expire(now.Add(time.Minute)); n != 3 {
+		t.Errorf("boundary sweep expired %d, want 3", n)
+	}
+
+	forever := mustOpen(t, Config{Dir: t.TempDir()})
+	if err := forever.Put("k", testReport("k"), time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := forever.Expire(time.Unix(1, 0).Add(1000 * time.Hour)); n != 0 {
+		t.Errorf("zero-TTL index expired %d entries", n)
+	}
+}
+
+// TestCompactBoundsTheJournal: a journal fat with run records folds down
+// to its live records, and the stored report survives compaction intact.
+func TestCompactBoundsTheJournal(t *testing.T) {
+	dir := t.TempDir()
+	key := "cafe"
+	jdir := filepath.Join(dir, key+DirSuffix)
+	w, err := journal.Open(jdir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Append(journal.Record{Status: journal.StatusStarted, Key: "run1", Kernel: "k"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(journal.Record{Status: journal.StatusDone, Key: "run1", Result: []byte(`{"Cycles":1}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix := mustOpen(t, Config{Dir: dir})
+	want := testReport("compact")
+	if err := ix.Put(key, want, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(filepath.Join(jdir, journal.FileName))
+	n, err := ix.Compact()
+	if err != nil || n != 1 {
+		t.Fatalf("Compact = %d, %v", n, err)
+	}
+	after, _ := os.Stat(filepath.Join(jdir, journal.FileName))
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	got, _, err := ix.Get(key)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Errorf("report after compaction: %v (equal=%v)", err, bytes.Equal(got, want))
+	}
+}
+
+// TestDirWithoutReportNotIndexed: a journal directory holding only run
+// records (a live or resumable job) is invisible to the index and its
+// journal is never touched by Compact.
+func TestDirWithoutReportNotIndexed(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(filepath.Join(dir, "beef"+DirSuffix), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.Record{Status: journal.StatusStarted, Key: "run1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix := mustOpen(t, Config{Dir: dir})
+	if ix.Len() != 0 {
+		t.Errorf("report-less dir indexed: %v", ix.Keys())
+	}
+	if _, _, err := ix.Get("beef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get = %v, want ErrNotFound", err)
+	}
+}
+
+// TestPerfCounters sanity-checks the metric names the dashboards key on.
+func TestPerfCounters(t *testing.T) {
+	reg := perf.NewRegistry()
+	ix := mustOpen(t, Config{Dir: t.TempDir(), Perf: reg})
+	if err := ix.Put("k", testReport("m"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	want := map[string]bool{"store.puts": false, "store.hits": false, "store.misses": false}
+	for _, m := range snap.Counters {
+		if _, ok := want[m.Name]; ok && m.Value > 0 {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("counter %s not incremented", name)
+		}
+	}
+}
