@@ -1,0 +1,260 @@
+// Command spearfuzz is the differential fuzzer: it generates seeded
+// random SPISA programs (internal/progen), optionally runs them through
+// the SPEAR compiler, and checks every machine model's cycle simulation
+// against the functional emulator — FinalStateHash and MainCommitted must
+// match on all of them.
+//
+// Usage:
+//
+//	spearfuzz -seeds 100                 # 100 random programs, all configs
+//	spearfuzz -seeds 200 -start 1000    # a different seed window
+//	spearfuzz -spec chase -seeds 50     # preset character (see -spec list)
+//	spearfuzz -spec 'b6_k8_l2_...'      # explicit canonical spec
+//	spearfuzz -seeds 50 -compile=false  # fuzz raw programs, no p-threads
+//	spearfuzz -budget 2m                # stop launching new seeds after 2m
+//
+// A diverging seed writes a reproducer bundle under -out:
+//
+//	seed<N>.spisa     standalone assembly (re-assembles bit-exactly)
+//	seed<N>.bin       SPEARBIN binary (preserves p-thread annotations)
+//	seed<N>.json      seed, spec, kernel name, failure signature
+//	seed<N>.min.spisa shrunk assembly reproducer
+//	seed<N>.min.bin   shrunk binary
+//
+// Re-run a reproducer with spearsim -bin seed<N>.min.bin, or regenerate
+// the original program from the seed+spec in seed<N>.json via
+// spearbench -kernels 'gen:<seed>:<spec>'.
+//
+// Exit codes: 0 all seeds clean, 2 divergence found (reproducers
+// written), 1 hard failure (bad flags, generator/compiler error, I/O).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spear/internal/exitcode"
+	"spear/internal/harness"
+	"spear/internal/prog"
+	"spear/internal/progen"
+	"spear/internal/workloads"
+)
+
+func main() { os.Exit(run()) }
+
+var (
+	flagSeeds    = flag.Int("seeds", 50, "number of seeds to fuzz")
+	flagStart    = flag.Int64("start", 1, "first seed")
+	flagSpec     = flag.String("spec", "", "fixed spec: a preset name ("+strings.Join(progen.PresetNames(), ", ")+") or a canonical spec string; empty = a new random spec per seed")
+	flagOut      = flag.String("out", "spearfuzz.repro", "directory for failing reproducers")
+	flagParallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "seeds fuzzed concurrently")
+	flagCompile  = flag.Bool("compile", true, "run the SPEAR compiler on each program (fuzzes p-thread machinery); false fuzzes raw binaries")
+	flagShrink   = flag.Bool("shrink", true, "minimize failing programs before saving")
+	flagBudget   = flag.Duration("budget", 0, "stop launching new seeds after this wall-clock time (0 = no limit)")
+	flagV        = flag.Bool("v", false, "per-seed progress lines")
+)
+
+type finding struct {
+	Seed      int64              `json:"seed"`
+	Spec      string             `json:"spec"`
+	Kernel    string             `json:"kernel"`
+	RefInstr  uint64             `json:"ref_instr"`
+	Div       *progen.Divergence `json:"divergence"`
+	ShrunkLen int                `json:"shrunk_len,omitempty"`
+	Err       string             `json:"error,omitempty"`
+}
+
+func run() int {
+	flag.Parse()
+	if *flagSeeds <= 0 {
+		fmt.Fprintln(os.Stderr, "spearfuzz: -seeds must be positive")
+		return exitcode.Err
+	}
+
+	var fixedSpec *progen.Spec
+	if *flagSpec != "" {
+		if s, ok := progen.Presets()[*flagSpec]; ok {
+			fixedSpec = &s
+		} else {
+			s, err := progen.ParseSpec(*flagSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spearfuzz: bad -spec: %v\n", err)
+				return exitcode.Err
+			}
+			fixedSpec = &s
+		}
+	}
+
+	workers := *flagParallel
+	if workers < 1 {
+		workers = 1
+	}
+	var deadline time.Time
+	if *flagBudget > 0 {
+		deadline = time.Now().Add(*flagBudget)
+	}
+
+	opts := harness.DefaultOptions()
+	// Generated programs are far smaller than the hand kernels; a lower
+	// miss threshold lets the profiler still find delinquent loads.
+	opts.Compiler.Profile.MissThreshold = 512
+
+	seeds := make(chan int64)
+	var (
+		mu       sync.Mutex
+		findings []finding
+		hard     []finding
+		ran      int
+		skipped  int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				f := fuzzOne(seed, fixedSpec, opts)
+				mu.Lock()
+				ran++
+				switch {
+				case f == nil:
+				case f.Err != "":
+					hard = append(hard, *f)
+				default:
+					findings = append(findings, *f)
+				}
+				mu.Unlock()
+				if *flagV {
+					status := "ok"
+					if f != nil {
+						status = "FAIL"
+					}
+					fmt.Printf("seed %d: %s\n", seed, status)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *flagSeeds; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			skipped = *flagSeeds - i
+			break
+		}
+		seeds <- *flagStart + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Seed < findings[j].Seed })
+	sort.Slice(hard, func(i, j int) bool { return hard[i].Seed < hard[j].Seed })
+
+	for _, f := range hard {
+		fmt.Fprintf(os.Stderr, "spearfuzz: seed %d: %s\n", f.Seed, f.Err)
+	}
+	for _, f := range findings {
+		fmt.Printf("DIVERGENCE seed %d config %s kind %s: %s\n", f.Seed, f.Div.Config, f.Div.Kind, f.Div.Detail)
+		if f.ShrunkLen > 0 {
+			fmt.Printf("  shrunk to %d instructions; reproducers under %s\n", f.ShrunkLen, *flagOut)
+		}
+	}
+	note := ""
+	if skipped > 0 {
+		note = fmt.Sprintf(" (%d seeds skipped: -budget exhausted)", skipped)
+	}
+	fmt.Printf("spearfuzz: %d seeds, %d divergences, %d errors%s\n", ran, len(findings), len(hard), note)
+
+	switch {
+	case len(hard) > 0:
+		return exitcode.Err
+	case len(findings) > 0:
+		return exitcode.Validation
+	}
+	return exitcode.OK
+}
+
+// fuzzOne runs one seed end to end: generate → (compile) → differential
+// check → reproducer + shrink on failure. Returns nil when clean.
+func fuzzOne(seed int64, fixedSpec *progen.Spec, opts harness.Options) *finding {
+	spec := progen.RandomSpec(seed)
+	if fixedSpec != nil {
+		spec = *fixedSpec
+	}
+	k := workloads.Generated(seed, spec)
+	f := &finding{Seed: seed, Spec: spec.String(), Kernel: k.Name}
+
+	var target *prog.Program
+	if *flagCompile {
+		prep, err := harness.Prepare(k, opts)
+		if err != nil {
+			f.Err = fmt.Sprintf("prepare: %v", err)
+			return f
+		}
+		target = prep.Ref
+	} else {
+		p, err := k.Build(workloads.Ref)
+		if err != nil {
+			f.Err = fmt.Sprintf("build: %v", err)
+			return f
+		}
+		target = p
+	}
+
+	copts := progen.CheckOptions{MaxInstr: uint64(spec.Budget) + 1000}
+	res := progen.Check(target, copts)
+	f.RefInstr = res.RefCount
+	if res.Div == nil {
+		return nil
+	}
+	f.Div = res.Div
+
+	if err := writeReproducers(f, target, res, copts); err != nil {
+		f.Err = fmt.Sprintf("writing reproducer: %v", err)
+	}
+	return f
+}
+
+func writeReproducers(f *finding, target *prog.Program, res progen.CheckResult, copts progen.CheckOptions) error {
+	dir := *flagOut
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("seed%d", f.Seed))
+	if err := os.WriteFile(base+".spisa", []byte(progen.DumpSource(target)), 0o644); err != nil {
+		return err
+	}
+	if err := writeBin(base+".bin", target); err != nil {
+		return err
+	}
+	if *flagShrink {
+		shrunk := progen.ShrinkDivergence(target, res, copts, 0)
+		f.ShrunkLen = len(shrunk.Text)
+		if err := os.WriteFile(base+".min.spisa", []byte(progen.DumpSource(shrunk)), 0o644); err != nil {
+			return err
+		}
+		if err := writeBin(base+".min.bin", shrunk); err != nil {
+			return err
+		}
+	}
+	js, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(base+".json", append(js, '\n'), 0o644)
+}
+
+// writeBin saves a SPEARBIN image — the only reproducer form that keeps
+// p-thread annotations (DumpSource emits plain assembly).
+func writeBin(path string, p *prog.Program) error {
+	b, err := prog.Marshal(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -6,19 +6,102 @@ import (
 	"testing"
 	"testing/quick"
 
+	"spear/internal/emu"
 	"spear/internal/isa"
 )
+
+// allOpsProgram exercises every defined opcode at least once and runs to
+// a clean halt: the integer ALU (register and immediate forms), every
+// load/store width, all six conditional branches, all four jumps, and
+// the full FP set including conversions and comparisons. It seeds
+// FuzzAssemble (so mutations start from full-ISA text) and backs the
+// coverage audit below.
+const allOpsProgram = `
+        .data
+q:      .quad 9
+        .space 64
+        .text
+main:   nop
+        addi r1, r0, 8
+        andi r2, r1, 12
+        ori  r3, r1, 3
+        xori r4, r3, 1
+        slli r5, r1, 2
+        srli r6, r5, 1
+        srai r7, r5, 1
+        slti r8, r1, 99
+        lui  r9, 1
+        add  r10, r1, r2
+        sub  r11, r10, r3
+        mul  r12, r4, r5
+        div  r13, r12, r1
+        rem  r14, r12, r1
+        and  r15, r10, r11
+        or   r16, r10, r11
+        xor  r17, r10, r11
+        sll  r18, r1, r2
+        srl  r19, r18, r1
+        sra  r20, r18, r1
+        slt  r21, r1, r10
+        sltu r22, r1, r10
+        la   r23, q
+        lb   r24, 0(r23)
+        lbu  r25, 1(r23)
+        lh   r26, 0(r23)
+        lw   r27, 4(r23)
+        ld   r28, q(r0)
+        sb   r24, 8(r23)
+        sh   r26, 10(r23)
+        sw   r27, 12(r23)
+        sd   r28, 16(r23)
+        fld  f1, q(r0)
+        fsd  f1, 24(r23)
+        cvtld f2, r1
+        cvtdl r2, f2
+        fadd f3, f1, f2
+        fsub f4, f3, f1
+        fmul f5, f3, f4
+        fdiv f6, f5, f3
+        fsqrt f7, f5
+        fneg f8, f7
+        fabs f9, f8
+        fmov f10, f9
+        feq  r3, f1, f2
+        flt  r4, f1, f2
+        fle  r5, f1, f2
+        beq  r0, r0, L1
+L1:     bne  r0, r1, L2
+L2:     blt  r0, r1, L3
+L3:     bge  r1, r0, L4
+L4:     bltu r0, r1, L5
+L5:     bgeu r1, r0, L6
+L6:     jal  sub1
+        jal  r2, sub2
+        j    fin
+sub1:   jr   r31
+sub2:   jalr r0, r2
+fin:    halt
+`
+
+// fuzzSeedCorpus is the FuzzAssemble seed set: the full-ISA program plus
+// smaller valid and deliberately malformed inputs.
+var fuzzSeedCorpus = []string{
+	allOpsProgram,
+	"main: addi r1, r0, 1\nhalt",
+	".data\nx: .quad 1\n.text\nmain: ld r1, x(r0)\nhalt",
+	"loop: blt r1, r2, loop",
+	": : :",
+	".align -1",
+	"main: lw r1, (",
+	"\x00\x01\x02",
+}
 
 // FuzzAssemble: arbitrary text must either assemble into a valid program
 // or return a clean error — never panic.
 func FuzzAssemble(f *testing.F) {
-	f.Add("main: addi r1, r0, 1\nhalt")
-	f.Add(".data\nx: .quad 1\n.text\nmain: ld r1, x(r0)\nhalt")
-	f.Add("loop: blt r1, r2, loop")
-	f.Add(": : :")
-	f.Add(".align -1")
-	f.Add("main: lw r1, (")
-	f.Add("\x00\x01\x02")
+	for _, src := range fuzzSeedCorpus {
+		f.Add(src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Assemble("fuzz.s", src)
 		if err == nil {
@@ -27,6 +110,43 @@ func FuzzAssemble(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestFuzzSeedCorpusCoversEveryOpcode audits the seed corpus against the
+// ISA: every valid opcode must appear in the assembled seeds, so fuzz
+// mutations and the disassembly round-trip start from full instruction
+// coverage. The audit is table-free — it derives the opcode set from
+// isa.NumOps, so a newly added opcode fails it until the corpus catches
+// up.
+func TestFuzzSeedCorpusCoversEveryOpcode(t *testing.T) {
+	seen := make([]bool, isa.NumOps)
+	for _, src := range fuzzSeedCorpus {
+		p, err := Assemble("corpus.s", src)
+		if err != nil {
+			continue // some seeds are deliberately malformed
+		}
+		for _, in := range p.Text {
+			seen[in.Op] = true
+		}
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if op.Valid() && !seen[op] {
+			t.Errorf("opcode %v missing from the fuzz seed corpus", op)
+		}
+	}
+}
+
+// TestAllOpsProgramHalts keeps the full-ISA seed a real program, not just
+// parseable text: it must run to a clean halt on the emulator.
+func TestAllOpsProgramHalts(t *testing.T) {
+	p, err := Assemble("allops.s", allOpsProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if err := m.Run(10_000); err != nil {
+		t.Fatalf("all-ops program did not halt: %v", err)
+	}
 }
 
 // TestAssembleRandomGarbageNeverPanics drives the fuzz property from the

@@ -12,8 +12,9 @@
 //	  0   all                      success
 //	  1   all                      hard failure: bad flags, unknown kernel,
 //	                               I/O errors, forced second-signal exit
-//	  2   spearsim                 validation failure: the cycle simulator
+//	  2   spearsim, spearfuzz      validation failure: the cycle simulator
 //	                               diverged from the functional emulator
+//	                               (spearfuzz also writes reproducer bundles)
 //	      spearstat -verify        journal integrity damage found (the
 //	                               read-only flavour of code 5)
 //	  3   spearbench, speard       partial: work was interrupted (signal,
@@ -39,8 +40,9 @@ const (
 	// second interrupt signal arrives mid-shutdown.
 	Err = 1
 
-	// Validation is spearsim's divergence failure: the cycle simulator
-	// retired something the functional emulator did not.
+	// Validation is the differential divergence failure: the cycle
+	// simulator retired something the functional emulator did not
+	// (spearsim on one program, spearfuzz across generated ones).
 	Validation = 2
 	// VerifyDamaged is spearstat -verify finding torn or corrupt journal
 	// records (read-only; the journal is left untouched).

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"spear/internal/asm"
+	"spear/internal/cpu"
+	"spear/internal/emu"
+	"spear/internal/progen"
+)
+
+// The curated generated corpus: a handful of generator outputs committed
+// as standalone .spisa files under testdata/corpus and promoted to
+// permanent members of the differential-oracle grid. The committed files
+// — not the generator — are the oracle inputs, so they keep guarding the
+// simulator even if the generator's output drifts; the golden test below
+// documents each file's provenance and fails loudly when the generator
+// changes (regenerate deliberately with -update, which also invalidates
+// saved fuzz seeds).
+var corpusEntries = []struct {
+	file string
+	seed int64
+	spec func() progen.Spec
+}{
+	{"corpus_chase.spisa", 101, func() progen.Spec {
+		s := progen.Presets()["chase"]
+		s.Iters = 300
+		return s
+	}},
+	{"corpus_branchy.spisa", 102, func() progen.Spec { return progen.Presets()["branchy"] }},
+	{"corpus_membound.spisa", 103, func() progen.Spec {
+		s := progen.Presets()["membound"]
+		s.Iters = 300
+		return s
+	}},
+	{"corpus_fp.spisa", 104, func() progen.Spec { return progen.Presets()["fp"] }},
+	{"corpus_deep.spisa", 105, func() progen.Spec { return progen.Presets()["deep"] }},
+	{"corpus_mixed.spisa", 106, func() progen.Spec { return progen.RandomSpec(106) }},
+}
+
+func corpusPath(file string) string { return filepath.Join("testdata", "corpus", file) }
+
+// TestCorpusGolden pins each corpus file to its generating (seed, spec)
+// pair, byte for byte.
+func TestCorpusGolden(t *testing.T) {
+	for _, e := range corpusEntries {
+		t.Run(e.file, func(t *testing.T) {
+			got, err := progen.Source(e.seed, e.spec(), progen.Ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := corpusPath(e.file)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing corpus file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("generator output for %s drifted from the committed corpus (re-run with -update if deliberate)", e.file)
+			}
+		})
+	}
+}
+
+// TestDifferentialOracleCorpus runs every committed corpus program
+// through the differential oracle: on each standard machine, the cycle
+// simulator's final architectural state and commit count must match an
+// independent functional emulation. This is the corpus's real job —
+// TestDifferentialOracleSuiteWide covers the fifteen hand kernels; these
+// six cover generated control/memory shapes no hand kernel exercises.
+func TestDifferentialOracleCorpus(t *testing.T) {
+	files, err := filepath.Glob(corpusPath("*.spisa"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files found (run TestCorpusGolden with -update): %v", err)
+	}
+	sort.Strings(files)
+	cfgs := StandardConfigs()
+	if testing.Short() || raceEnabled {
+		files = files[:2]
+		cfgs = []cpu.Config{cpu.BaselineConfig(), cpu.SPEARConfig(128, false)}
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := asm.Assemble(filepath.Base(path), string(src))
+			if err != nil {
+				t.Fatalf("corpus file no longer assembles: %v", err)
+			}
+			m := emu.New(p)
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatalf("reference emulation: %v", err)
+			}
+			wantHash, wantCount := m.StateHash(), m.Count
+			for _, cfg := range cfgs {
+				res, err := cpu.Run(p, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if res.MainCommitted != wantCount {
+					t.Errorf("%s: committed %d instructions, emulator retired %d", cfg.Name, res.MainCommitted, wantCount)
+				}
+				if res.FinalStateHash != wantHash {
+					t.Errorf("%s: final state hash %#x, emulator %#x", cfg.Name, res.FinalStateHash, wantHash)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusEntriesDistinct guards the curation itself: entries must use
+// distinct files and seeds, and each program must be non-trivial.
+func TestCorpusEntriesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, e := range corpusEntries {
+		if seen[e.file] || seeds[e.seed] {
+			t.Errorf("duplicate corpus entry %s / seed %d", e.file, e.seed)
+		}
+		seen[e.file], seeds[e.seed] = true, true
+		p, err := progen.Generate(e.seed, e.spec())
+		if err != nil {
+			t.Fatalf("%s: %v", e.file, err)
+		}
+		if len(p.Text) < 50 {
+			t.Errorf("%s: only %d instructions — too trivial for the oracle grid", e.file, len(p.Text))
+		}
+	}
+	if len(corpusEntries) < 5 {
+		t.Errorf("corpus has %d entries, want at least 5", len(corpusEntries))
+	}
+}

@@ -1,0 +1,136 @@
+package progen
+
+import (
+	"fmt"
+
+	"spear/internal/cpu"
+	"spear/internal/emu"
+	"spear/internal/prog"
+)
+
+// Divergence kinds, most specific first. The (Config, Kind) pair is the
+// failure signature the shrinker preserves while minimizing.
+const (
+	// KindEmuError: the reference emulator faulted (bad PC, invalid op).
+	KindEmuError = "emu-error"
+	// KindNoHalt: the reference emulator hit its instruction budget — the
+	// program (or a shrunk candidate) no longer terminates.
+	KindNoHalt = "no-halt"
+	// KindSimError: the cycle simulator returned an error the emulator
+	// did not (deadlock, internal divergence, cycle cap).
+	KindSimError = "sim-error"
+	// KindCommitCount: MainCommitted differs from the emulator's count —
+	// commit bookkeeping retired too many or too few instructions.
+	KindCommitCount = "commit-count"
+	// KindStateHash: the final architectural state differs — p-thread
+	// activity (or a simulator bug) leaked into architectural state.
+	KindStateHash = "state-hash"
+)
+
+// Divergence describes one differential-check failure.
+type Divergence struct {
+	Config string `json:"config"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("divergence on %s (%s): %s", d.Config, d.Kind, d.Detail)
+}
+
+// CheckOptions tunes the differential check.
+type CheckOptions struct {
+	// Configs are the machine models to check (nil = DefaultConfigs).
+	Configs []cpu.Config
+	// MaxInstr is the reference emulator's instruction budget (0 = 50M).
+	// A generated program's budget-by-construction keeps real runs far
+	// below it; hitting the limit is itself reported as KindNoHalt.
+	MaxInstr uint64
+	// MaxCycles caps each cycle simulation (0 = derived from the
+	// reference instruction count), bounding fuzz time on sim bugs that
+	// spin without retiring.
+	MaxCycles uint64
+	// TamperRef, when non-nil, is applied to the reference emulator
+	// before it runs. It exists ONLY for tests: installing an emu.Hook
+	// that corrupts architectural state manufactures a synthetic
+	// divergence, which is how the shrinker's regression tests get a
+	// known-failing program without patching the simulator. Never set it
+	// in real fuzzing.
+	TamperRef func(*emu.Machine)
+}
+
+// DefaultConfigs returns the five standard machine models (baseline,
+// SPEAR-128/256, SPEAR.sf-128/256). It mirrors harness.StandardConfigs,
+// which progen cannot import without a cycle (harness → workloads →
+// progen).
+func DefaultConfigs() []cpu.Config {
+	return []cpu.Config{
+		cpu.BaselineConfig(),
+		cpu.SPEARConfig(128, false),
+		cpu.SPEARConfig(256, false),
+		cpu.SPEARConfig(128, true),
+		cpu.SPEARConfig(256, true),
+	}
+}
+
+// CheckResult is the outcome of one differential check.
+type CheckResult struct {
+	RefCount uint64      // instructions the reference emulator retired
+	RefHash  uint64      // reference final-state hash
+	Div      *Divergence // nil when every config matched the reference
+}
+
+// Check runs p through the reference emulator and then through every
+// config's cycle simulation, comparing MainCommitted and FinalStateHash
+// against the reference. It returns on the first divergence.
+//
+// This is the repo's metamorphic core: across baseline and all SPEAR
+// variants the architectural result must be identical, so p-threads
+// enabled vs disabled can never change architectural state.
+func Check(p *prog.Program, opts CheckOptions) CheckResult {
+	maxInstr := opts.MaxInstr
+	if maxInstr == 0 {
+		maxInstr = 50_000_000
+	}
+	m := emu.New(p)
+	if opts.TamperRef != nil {
+		opts.TamperRef(m)
+	}
+	if err := m.Run(maxInstr); err != nil {
+		kind := KindEmuError
+		if err == emu.ErrLimit {
+			kind = KindNoHalt
+		}
+		return CheckResult{RefCount: m.Count, Div: &Divergence{
+			Config: "ref", Kind: kind, Detail: err.Error(),
+		}}
+	}
+	res := CheckResult{RefCount: m.Count, RefHash: m.StateHash()}
+
+	cfgs := opts.Configs
+	if cfgs == nil {
+		cfgs = DefaultConfigs()
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 64*res.RefCount + 1_000_000
+	}
+	for _, cfg := range cfgs {
+		cfg.MaxCycles = maxCycles
+		r, err := cpu.Run(p, cfg)
+		switch {
+		case err != nil:
+			res.Div = &Divergence{Config: cfg.Name, Kind: KindSimError, Detail: err.Error()}
+		case r.MainCommitted != res.RefCount:
+			res.Div = &Divergence{Config: cfg.Name, Kind: KindCommitCount,
+				Detail: fmt.Sprintf("sim committed %d, emulator retired %d", r.MainCommitted, res.RefCount)}
+		case r.FinalStateHash != res.RefHash:
+			res.Div = &Divergence{Config: cfg.Name, Kind: KindStateHash,
+				Detail: fmt.Sprintf("sim state hash %#x, emulator %#x", r.FinalStateHash, res.RefHash)}
+		}
+		if res.Div != nil {
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,153 @@
+package progen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"spear/internal/asm"
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+// DumpSource renders a program as standalone assembly that re-assembles
+// with internal/asm to the same Text, Data, and Entry — the .spisa
+// reproducer format written by cmd/spearfuzz. Branch and jump targets are
+// emitted as absolute numeric indices (which the assembler accepts), so
+// no label bookkeeping can drift during shrinking. P-thread annotations
+// are not representable in source; they are emitted as comments and
+// preserved separately in the binary (.bin) reproducer.
+func DumpSource(p *prog.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# spisa reproducer: %s\n", p.Name)
+	fmt.Fprintf(&b, "# %d instructions, entry %d\n", len(p.Text), p.Entry)
+	for i, pt := range p.PThreads {
+		fmt.Fprintf(&b, "# pthread %d: dload=%d members=%d region=[%d,%d]\n",
+			i, pt.DLoad, len(pt.Members), pt.RegionStart, pt.RegionEnd)
+	}
+
+	if len(p.Data) > 0 {
+		b.WriteString("\t.data\n")
+		cursor := asm.DataBase
+		for _, d := range p.Data {
+			if d.Addr < cursor {
+				fmt.Fprintf(&b, "# SKIPPED chunk at %#x (overlaps or precedes data base)\n", d.Addr)
+				continue
+			}
+			if d.Addr > cursor {
+				fmt.Fprintf(&b, "\t.space %d\n", d.Addr-cursor)
+			}
+			dumpChunk(&b, p, d)
+			cursor = d.Addr + uint32(len(d.Bytes))
+		}
+	}
+
+	b.WriteString("\t.text\n")
+	for i, in := range p.Text {
+		if i == p.Entry {
+			b.WriteString("main:\n")
+		}
+		b.WriteString("\t")
+		b.WriteString(instrText(in))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// dumpChunk emits one data chunk, placing symbol labels at their offsets
+// and run-length-compressing zero stretches into .space.
+func dumpChunk(b *strings.Builder, p *prog.Program, d prog.DataChunk) {
+	type symbol struct {
+		name string
+		off  int
+	}
+	var syms []symbol
+	for name, addr := range p.Symbols {
+		if addr >= d.Addr && addr <= d.Addr+uint32(len(d.Bytes)) {
+			syms = append(syms, symbol{name, int(addr - d.Addr)})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].off != syms[j].off {
+			return syms[i].off < syms[j].off
+		}
+		return syms[i].name < syms[j].name
+	})
+
+	off, si := 0, 0
+	emitLabels := func() {
+		for si < len(syms) && syms[si].off == off {
+			fmt.Fprintf(b, "%s:\n", syms[si].name)
+			si++
+		}
+	}
+	nextStop := func() int {
+		if si < len(syms) {
+			return syms[si].off
+		}
+		return len(d.Bytes)
+	}
+	zeroRun := func() int {
+		n := 0
+		for off+n < nextStop() && d.Bytes[off+n] == 0 {
+			n++
+		}
+		return n
+	}
+	for off < len(d.Bytes) {
+		emitLabels()
+		stop := nextStop()
+		if stop == off { // symbol not at off anymore; force progress
+			stop = len(d.Bytes)
+		}
+		if n := zeroRun(); n >= 16 {
+			fmt.Fprintf(b, "\t.space %d\n", n)
+			off += n
+			continue
+		}
+		if stop-off >= 8 {
+			v := binary.LittleEndian.Uint64(d.Bytes[off:])
+			fmt.Fprintf(b, "\t.quad %d\n", int64(v))
+			off += 8
+			continue
+		}
+		fmt.Fprintf(b, "\t.byte %d\n", d.Bytes[off])
+		off++
+	}
+	emitLabels()
+}
+
+// instrText renders one instruction in assembler-accepted syntax (unlike
+// Instruction.String, whose "@N" branch targets do not re-assemble).
+func instrText(in isa.Instruction) string {
+	switch in.Op {
+	case isa.NOP, isa.HALT:
+		return in.Op.String()
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FEQ, isa.FLT, isa.FLE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case isa.LUI:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case isa.LB, isa.LBU, isa.LH, isa.LW, isa.LD, isa.FLD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs)
+	case isa.SB, isa.SH, isa.SW, isa.SD, isa.FSD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs, in.Rt, in.Imm)
+	case isa.J:
+		return fmt.Sprintf("j %d", in.Imm)
+	case isa.JAL:
+		return fmt.Sprintf("jal %s, %d", in.Rd, in.Imm)
+	case isa.JR:
+		return fmt.Sprintf("jr %s", in.Rs)
+	case isa.JALR:
+		return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs)
+	case isa.FSQRT, isa.FNEG, isa.FABS, isa.FMOV, isa.CVTLD, isa.CVTDL:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs)
+	}
+	return "nop # unrepresentable: " + in.Op.String()
+}

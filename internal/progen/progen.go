@@ -1,0 +1,520 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spear/internal/asm"
+	"spear/internal/prog"
+)
+
+// Variant selects which input data set a generated program is built with;
+// the text is byte-identical across variants (the Train/Ref contract).
+type Variant int
+
+const (
+	// Ref is the measurement input.
+	Ref Variant = iota
+	// Train is the profiling input: fewer outer iterations, different
+	// data seed.
+	Train
+)
+
+func (v Variant) String() string {
+	if v == Train {
+		return "train"
+	}
+	return "ref"
+}
+
+// Register conventions of generated code. The emitter never lets body code
+// write the reserved registers, which is what makes the termination bound
+// sound: loop counters and the return address cannot be corrupted.
+//
+//	r0          hardwired zero
+//	r1..r18,r21 scratch pool (body-writable)
+//	r19, r20    address/branch temporaries
+//	r22         LCG multiplier (constant)
+//	r23         LCG state (data-derived random stream)
+//	r24         pointer-chase cursor
+//	r25         data region base
+//	r26, r27    nested loop counters (depth 2, 1)
+//	r28         outer loop counter
+//	r29         stack pointer (untouched)
+//	r30         store region base (upper half)
+//	r31         return address (written only by call)
+var scratch = []string{
+	"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10",
+	"r11", "r12", "r13", "r14", "r15", "r16", "r17", "r18", "r21",
+}
+
+const (
+	lcgMul = 1103515245
+	lcgAdd = 12345
+)
+
+// gen is one emission pass. Costs are tracked as an exact upper bound on
+// dynamic instructions, split into a one-time component (fixed) and a
+// per-outer-iteration component (per): total ≤ fixed + per*iters.
+type gen struct {
+	spec Spec
+	rng  *rand.Rand
+
+	text []string  // .text lines
+	cur  *[]string // current emission target (text or a sub body)
+
+	subs    [][]string // leaf subroutine bodies, appended after halt
+	subLen  []int64    // dynamic length of each sub (body + ret)
+	subCost *int64     // non-nil while emitting a sub
+
+	nlabel int
+	fixed  int64
+	per    int64
+	mult   int64 // 0 = outside the outer loop (cost goes to fixed once)
+}
+
+func (g *gen) newLabel() string {
+	g.nlabel++
+	return fmt.Sprintf("L%d", g.nlabel)
+}
+
+// ins emits one instruction and charges its dynamic executions.
+func (g *gen) ins(format string, args ...any) {
+	*g.cur = append(*g.cur, "\t"+fmt.Sprintf(format, args...))
+	switch {
+	case g.subCost != nil:
+		*g.subCost++
+	case g.mult == 0:
+		g.fixed++
+	default:
+		g.per += g.mult
+	}
+}
+
+// raw emits a label or comment line (no dynamic cost).
+func (g *gen) raw(line string) { *g.cur = append(*g.cur, line) }
+
+// charge adds extra dynamic executions at the current multiplier (used
+// for loop guards, which run one extra time, and for call targets).
+func (g *gen) charge(n int64) {
+	switch {
+	case g.subCost != nil:
+		// Subs are leaves; nothing extra to charge inside them.
+	case g.mult == 0:
+		g.fixed += n
+	default:
+		g.per += g.mult * n
+	}
+}
+
+func (g *gen) pick(regs []string) string { return regs[g.rng.Intn(len(regs))] }
+
+// Source emits the assembly source for (seed, spec, variant). The text
+// section is identical across variants; only the nIter and dseed data
+// cells differ. Returns an error when the budget cannot fit even one
+// outer iteration (never the case for RandomSpec output).
+func Source(seed int64, spec Spec, v Variant) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	g := &gen{spec: spec, rng: rand.New(rand.NewSource(seed ^ spec.hash()))}
+	g.cur = &g.text
+	g.genSubs()
+	g.emitText()
+
+	maxIters := (int64(spec.Budget) - g.fixed) / g.per
+	if maxIters < 1 {
+		return "", fmt.Errorf("progen: budget %d cannot fit one outer iteration (fixed %d, per %d)",
+			spec.Budget, g.fixed, g.per)
+	}
+	iters := min64(int64(spec.Iters), maxIters)
+	if v == Train {
+		iters = min64(int64(spec.TrainIter), maxIters)
+	}
+	dseed := int64(splitmix64(uint64(seed) + 0x9E3779B97F4A7C15*uint64(v+1)))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# progen v1 seed=%d\n", seed)
+	fmt.Fprintf(&b, "# spec %s\n", spec.String())
+	fmt.Fprintf(&b, "# variant=%s iters=%d bound=%d budget=%d\n", v, iters, g.fixed+g.per*iters, spec.Budget)
+	b.WriteString("\t.data\n")
+	fmt.Fprintf(&b, "nIter:\t.quad %d\n", iters)
+	fmt.Fprintf(&b, "dseed:\t.quad %d\n", dseed)
+	fmt.Fprintf(&b, "region:\t.space %d\n", spec.DataBytes)
+	b.WriteString("\t.text\n")
+	for _, line := range g.text {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Build assembles the program for (seed, spec, variant).
+func Build(seed int64, spec Spec, v Variant) (*prog.Program, error) {
+	src, err := Source(seed, spec, v)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("gen-%d.%s", seed, v)
+	p, err := asm.Assemble(name+".s", src)
+	if err != nil {
+		return nil, fmt.Errorf("progen: %s: %w", name, err)
+	}
+	p.Name = name
+	return p, nil
+}
+
+// Generate builds the reference variant (the common fuzzing entry point).
+func Generate(seed int64, spec Spec) (*prog.Program, error) { return Build(seed, spec, Ref) }
+
+// genSubs pre-generates the leaf subroutines so call sites know their
+// dynamic length. Bodies are straight-line ALU/FP code ending in ret.
+func (g *gen) genSubs() {
+	if g.spec.Calls <= 0 {
+		return
+	}
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		var body []string
+		var cost int64
+		g.cur, g.subCost = &body, &cost
+		ops := 2 + g.rng.Intn(5)
+		for j := 0; j < ops; j++ {
+			if g.rng.Float64() < g.spec.FP {
+				g.emitFPOp()
+			} else {
+				g.emitIntOp()
+			}
+		}
+		g.ins("ret")
+		g.subs = append(g.subs, body)
+		g.subLen = append(g.subLen, cost)
+	}
+	g.cur, g.subCost = &g.text, nil
+}
+
+func (g *gen) emitText() {
+	s := g.spec
+	// Prologue: parameters, bases, LCG constant, FP seed values.
+	g.raw("main:")
+	g.ins("ld r28, nIter(r0)")
+	g.ins("ld r23, dseed(r0)")
+	g.ins("la r25, region")
+	g.ins("addi r30, r25, %d", s.DataBytes/2)
+	g.ins("li r22, %d", lcgMul)
+	g.ins("cvtld f0, r23")
+	g.ins("cvtld f1, r28")
+	g.ins("fadd f2, f0, f1")
+	g.ins("fmul f3, f0, f0")
+
+	// Data fill: LCG stream over the whole region, so load values are
+	// seed-determined. Index r19 increases monotonically — terminates.
+	fill := g.newLabel()
+	g.ins("li r19, 0")
+	g.ins("li r21, %d", s.DataBytes)
+	g.raw(fill + ":")
+	g.ins("mul r23, r23, r22")
+	g.ins("addi r23, r23, %d", lcgAdd)
+	g.ins("add r20, r25, r19")
+	g.ins("sd r23, 0(r20)")
+	g.ins("addi r19, r19, 8")
+	g.ins("blt r19, r21, %s", fill)
+	g.charge(6 * (int64(s.DataBytes)/8 - 1)) // loop body runs D/8 times total
+
+	if s.PointerDepth > 0 {
+		g.emitRing()
+	}
+
+	// Outer loop: counted down on r28 (loaded from nIter). The guard runs
+	// iters+1 times: once per iteration (charged via ins at mult 1) plus
+	// one final failing evaluation (charged to fixed).
+	head, end := g.newLabel(), g.newLabel()
+	g.raw(head + ":")
+	g.mult = 1
+	g.ins("bge r0, r28, %s", end)
+	g.mult = 0
+	g.charge(1)
+	g.mult = 1
+
+	for i := 0; i < s.PointerDepth; i++ {
+		g.ins("ld r24, 0(r24)")
+	}
+	g.emitNest(1)
+
+	g.ins("addi r28, r28, -1")
+	g.ins("j %s", head)
+	g.mult = 0
+	g.raw(end + ":")
+	g.ins("halt")
+
+	for i, body := range g.subs {
+		g.raw(fmt.Sprintf("F%d:", i))
+		g.text = append(g.text, body...)
+	}
+}
+
+// emitRing builds a pointer ring over the lower half of the data region:
+// cell i holds the address of cell (i+stride) mod cells. An odd stride on
+// a power-of-two cell count is a full single-cycle permutation, so the
+// chase cursor can never escape or get stuck. Stores in body code are
+// masked into the upper half and cannot clobber the ring.
+func (g *gen) emitRing() {
+	cells := int64(g.spec.DataBytes / 16)
+	stride := int64(2*g.rng.Intn(int(cells/2)) + 1)
+	ring := g.newLabel()
+	g.ins("li r19, 0")
+	g.ins("li r21, %d", cells)
+	g.raw(ring + ":")
+	g.ins("addi r20, r19, %d", stride)
+	g.ins("andi r20, r20, %d", cells-1)
+	g.ins("slli r20, r20, 3")
+	g.ins("add r20, r25, r20")
+	g.ins("slli r18, r19, 3")
+	g.ins("add r18, r25, r18")
+	g.ins("sd r20, 0(r18)")
+	g.ins("addi r19, r19, 1")
+	g.ins("blt r19, r21, %s", ring)
+	g.charge(9 * (cells - 1))
+	g.ins("mv r24, r25")
+}
+
+// emitNest descends the counted-loop nest; the innermost level carries
+// the blocks.
+func (g *gen) emitNest(depth int) {
+	if depth >= g.spec.Loops {
+		for i := 0; i < g.spec.Blocks; i++ {
+			g.emitBlock()
+		}
+		return
+	}
+	counter := "r27"
+	if depth == 2 {
+		counter = "r26"
+	}
+	trip := int64(g.spec.InnerTrip)
+	head, done := g.newLabel(), g.newLabel()
+	outer := g.mult
+	g.ins("li %s, %d", counter, trip)
+	g.raw(head + ":")
+	g.ins("bge r0, %s, %s", counter, done) // runs outer*(trip+1) times
+	g.charge(trip)
+	g.mult = outer * trip
+	g.emitNest(depth + 1)
+	g.ins("addi %s, %s, -1", counter, counter)
+	g.ins("j %s", head)
+	g.mult = outer
+	g.raw(done + ":")
+}
+
+// emitBlock emits one basic block: a run of slots, an optional call, and
+// an optional forward data-dependent branch.
+func (g *gen) emitBlock() {
+	slots := 1 + g.rng.Intn(g.spec.BlockLen)
+	for i := 0; i < slots; i++ {
+		switch {
+		case g.rng.Float64() < g.spec.Mem:
+			g.emitMemOp()
+		case g.rng.Float64() < g.spec.FP:
+			g.emitFPOp()
+		default:
+			g.emitIntOp()
+		}
+	}
+	if len(g.subs) > 0 && g.rng.Float64() < g.spec.Calls {
+		sub := g.rng.Intn(len(g.subs))
+		g.ins("call F%d", sub)
+		g.charge(g.subLen[sub])
+	}
+	if g.rng.Float64() < g.spec.Branch {
+		g.emitBranch()
+	}
+}
+
+// addrSrc returns a register whose value seeds a load/store address:
+// half the time the program's LCG stream (advanced in place), otherwise
+// whatever a scratch register currently holds.
+func (g *gen) addrSrc() string {
+	if g.rng.Float64() < 0.5 {
+		g.ins("mul r23, r23, r22")
+		g.ins("addi r23, r23, %d", lcgAdd)
+		return "r23"
+	}
+	return g.pick(scratch)
+}
+
+func (g *gen) emitMemOp() {
+	if g.rng.Float64() < 0.65 {
+		chain := 1
+		if g.rng.Float64() < 0.4 {
+			chain = g.spec.Cluster
+		}
+		g.emitLoadChain(chain)
+	} else {
+		g.emitStore()
+	}
+}
+
+// emitLoadChain emits a chain of address-dependent loads (length > 1
+// models a delinquent cluster: each address depends on the previous
+// load's value). Addresses are masked into the data region, 8-aligned.
+func (g *gen) emitLoadChain(chain int) {
+	mask := g.spec.DataBytes - 8
+	src := g.addrSrc()
+	for i := 0; i < chain; i++ {
+		g.ins("andi r19, %s, %d", src, mask)
+		g.ins("add r19, r25, r19")
+		last := i == chain-1
+		if !last {
+			dst := g.pick(scratch)
+			g.ins("ld %s, 0(r19)", dst)
+			src = dst
+			continue
+		}
+		switch r := g.rng.Float64(); {
+		case r < 0.40:
+			g.ins("ld %s, 0(r19)", g.pick(scratch))
+		case r < 0.55:
+			g.ins("lw %s, 0(r19)", g.pick(scratch))
+		case r < 0.65:
+			g.ins("lh %s, 0(r19)", g.pick(scratch))
+		case r < 0.75:
+			g.ins("lb %s, 0(r19)", g.pick(scratch))
+		case r < 0.85:
+			g.ins("lbu %s, 0(r19)", g.pick(scratch))
+		default:
+			g.ins("fld f%d, 0(r19)", g.rng.Intn(10))
+		}
+	}
+}
+
+// emitStore masks the address into the upper half of the data region
+// (never the pointer ring) and stores a scratch or FP value.
+func (g *gen) emitStore() {
+	mask := g.spec.DataBytes/2 - 8
+	g.ins("andi r19, %s, %d", g.addrSrc(), mask)
+	g.ins("add r19, r30, r19")
+	switch r := g.rng.Float64(); {
+	case r < 0.50:
+		g.ins("sd %s, 0(r19)", g.pick(scratch))
+	case r < 0.65:
+		g.ins("sw %s, 0(r19)", g.pick(scratch))
+	case r < 0.75:
+		g.ins("sh %s, 0(r19)", g.pick(scratch))
+	case r < 0.85:
+		g.ins("sb %s, 0(r19)", g.pick(scratch))
+	default:
+		g.ins("fsd f%d, 0(r19)", g.rng.Intn(10))
+	}
+}
+
+func (g *gen) emitIntOp() {
+	d := g.pick(scratch)
+	a, b := g.pick(scratch), g.pick(scratch)
+	switch r := g.rng.Float64(); {
+	case r < 0.40:
+		op := []string{"add", "sub", "and", "or", "xor", "slt", "sltu"}[g.rng.Intn(7)]
+		g.ins("%s %s, %s, %s", op, d, a, b)
+	case r < 0.50:
+		op := []string{"sll", "srl", "sra"}[g.rng.Intn(3)]
+		g.ins("%s %s, %s, %s", op, d, a, b)
+	case r < 0.58:
+		g.ins("mul %s, %s, %s", d, a, b)
+	case r < 0.62:
+		op := []string{"div", "rem"}[g.rng.Intn(2)]
+		g.ins("%s %s, %s, %s", op, d, a, b)
+	case r < 0.80:
+		op := []string{"addi", "andi", "ori", "xori", "slti"}[g.rng.Intn(5)]
+		g.ins("%s %s, %s, %d", op, d, a, g.rng.Intn(4096)-2048)
+	case r < 0.92:
+		op := []string{"slli", "srli", "srai"}[g.rng.Intn(3)]
+		g.ins("%s %s, %s, %d", op, d, a, g.rng.Intn(64))
+	case r < 0.97:
+		g.ins("lui %s, %d", d, g.rng.Intn(65536)-32768)
+	default:
+		g.ins("nop")
+	}
+}
+
+func (g *gen) emitFPOp() {
+	d := g.rng.Intn(10)
+	a, b := g.rng.Intn(10), g.rng.Intn(10)
+	switch r := g.rng.Float64(); {
+	case r < 0.45:
+		op := []string{"fadd", "fsub", "fmul"}[g.rng.Intn(3)]
+		g.ins("%s f%d, f%d, f%d", op, d, a, b)
+	case r < 0.52:
+		g.ins("fdiv f%d, f%d, f%d", d, a, b)
+	case r < 0.58:
+		g.ins("fsqrt f%d, f%d", d, a)
+	case r < 0.72:
+		op := []string{"fneg", "fabs", "fmov"}[g.rng.Intn(3)]
+		g.ins("%s f%d, f%d", op, d, a)
+	case r < 0.80:
+		g.ins("cvtld f%d, %s", d, g.pick(scratch))
+	case r < 0.88:
+		g.ins("cvtdl %s, f%d", g.pick(scratch), a)
+	default:
+		op := []string{"feq", "flt", "fle"}[g.rng.Intn(3)]
+		g.ins("%s %s, f%d, f%d", op, g.pick(scratch), a, b)
+	}
+}
+
+// emitBranch emits a forward data-dependent branch skipping 1..3 shadow
+// instructions. The condition comes from the LCG stream's high bits
+// compared against a threshold derived from Bias, through a randomly
+// chosen comparison idiom (covering beq/bne/blt/bge/bltu/bgeu).
+func (g *gen) emitBranch() {
+	skip := g.newLabel()
+	g.ins("mul r23, r23, r22")
+	g.ins("addi r23, r23, %d", lcgAdd)
+	g.ins("srli r19, r23, 33")
+	thr := int(g.spec.Bias*1024 + 0.5)
+	if thr > 1024 {
+		thr = 1024
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		g.ins("andi r19, r19, 1023")
+		g.ins("li r20, %d", thr)
+		g.ins("blt r19, r20, %s", skip)
+	case 1:
+		g.ins("andi r19, r19, 1023")
+		g.ins("li r20, %d", thr)
+		g.ins("bltu r19, r20, %s", skip)
+	case 2:
+		g.ins("andi r19, r19, 1023")
+		g.ins("li r20, %d", thr)
+		g.ins("bge r20, r19, %s", skip)
+	case 3:
+		g.ins("andi r19, r19, 1023")
+		g.ins("li r20, %d", thr)
+		g.ins("bgeu r20, r19, %s", skip)
+	case 4: // 50/50 regardless of bias: exercises beq
+		g.ins("andi r19, r19, 1")
+		g.ins("beq r19, r0, %s", skip)
+	default: // 50/50: exercises bne
+		g.ins("andi r19, r19, 1")
+		g.ins("bne r19, r0, %s", skip)
+	}
+	shadow := 1 + g.rng.Intn(3)
+	for i := 0; i < shadow; i++ {
+		g.emitIntOp()
+	}
+	g.raw(skip + ":")
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// splitmix64 is the standard 64-bit mixer (used for per-variant data seeds).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

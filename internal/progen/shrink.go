@@ -1,0 +1,173 @@
+package progen
+
+import (
+	"sort"
+
+	"spear/internal/cpu"
+	"spear/internal/isa"
+	"spear/internal/prog"
+)
+
+// Shrink minimizes a failing program by deleting instruction ranges
+// (ddmin-style: halving chunk sizes down to single instructions) while
+// the keep predicate continues to accept the candidate. keep must return
+// true when the candidate still exhibits the original failure; Check with
+// the failure's (Config, Kind) signature is the usual predicate.
+//
+// The result is deterministic: candidates are tried in a fixed order and
+// every acceptance strictly shrinks the text, so the process terminates.
+// maxTries caps predicate invocations (0 = 4096); on exhaustion the best
+// program found so far is returned.
+func Shrink(p *prog.Program, keep func(*prog.Program) bool, maxTries int) *prog.Program {
+	if maxTries <= 0 {
+		maxTries = 4096
+	}
+	cur := p.Clone()
+	tries := 0
+	size := (len(cur.Text) + 1) / 2
+	for size >= 1 && tries < maxTries {
+		removed := false
+		for lo := 0; lo < len(cur.Text) && tries < maxTries; {
+			hi := lo + size
+			if hi > len(cur.Text) {
+				hi = len(cur.Text)
+			}
+			cand := removeRange(cur, lo, hi)
+			if cand != nil && cand.Validate() == nil {
+				tries++
+				if keep(cand) {
+					cur = cand
+					removed = true
+					continue // retry the same offset on the smaller program
+				}
+			}
+			lo += size
+		}
+		if !removed {
+			size /= 2
+		} else if size > len(cur.Text) {
+			size = len(cur.Text)
+		}
+	}
+	return cur
+}
+
+// removeRange returns a copy of p with Text[lo:hi) deleted and every
+// instruction index reference (branch/jump targets, entry, labels,
+// p-thread annotations) remapped. Targets inside the deleted range
+// collapse to lo; targets past the end clamp to the last instruction.
+// Returns nil when the removal cannot produce a plausible program.
+func removeRange(p *prog.Program, lo, hi int) *prog.Program {
+	n := len(p.Text)
+	if lo < 0 || hi <= lo || hi > n || hi-lo >= n {
+		return nil // never remove everything
+	}
+	cut := hi - lo
+	newLen := n - cut
+	remap := func(t int) int {
+		switch {
+		case t >= hi:
+			t -= cut
+		case t >= lo:
+			t = lo
+		}
+		if t >= newLen {
+			t = newLen - 1
+		}
+		return t
+	}
+
+	c := &prog.Program{
+		Name:    p.Name,
+		Text:    make([]isa.Instruction, 0, newLen),
+		Entry:   remap(p.Entry),
+		Symbols: p.Symbols,
+	}
+	c.Text = append(c.Text, p.Text[:lo]...)
+	c.Text = append(c.Text, p.Text[hi:]...)
+	for i := range c.Text {
+		in := &c.Text[i]
+		if in.Op.IsBranch() || in.Op == isa.J || in.Op == isa.JAL {
+			in.Imm = int32(remap(int(in.Imm)))
+		}
+	}
+	for _, d := range p.Data {
+		c.Data = append(c.Data, prog.DataChunk{Addr: d.Addr, Bytes: d.Bytes})
+	}
+
+	// P-thread annotations: drop members that were deleted; drop a whole
+	// p-thread when its d-load is gone or no longer a load.
+	for _, pt := range p.PThreads {
+		if pt.DLoad >= lo && pt.DLoad < hi {
+			continue
+		}
+		dload := remap(pt.DLoad)
+		if dload >= newLen || !c.Text[dload].Op.IsLoad() {
+			continue
+		}
+		members := make([]int, 0, len(pt.Members))
+		for _, m := range pt.Members {
+			if m >= lo && m < hi && m != pt.DLoad {
+				continue
+			}
+			members = append(members, remap(m))
+		}
+		sort.Ints(members)
+		members = dedupInts(members)
+		npt := prog.PThread{
+			DLoad:       dload,
+			Members:     members,
+			LiveIns:     append([]isa.Reg(nil), pt.LiveIns...),
+			RegionStart: remap(pt.RegionStart),
+			RegionEnd:   remap(pt.RegionEnd),
+			DCycle:      pt.DCycle,
+		}
+		if !npt.HasMember(dload) {
+			continue
+		}
+		c.PThreads = append(c.PThreads, npt)
+	}
+	return c
+}
+
+// ShrinkDivergence shrinks p while preserving the failure signature
+// (Config, Kind) of a divergence previously found by Check(p, opts). It
+// tightens the check budgets from the original run — candidates are
+// checked only against the diverging config, with the emulator budget cut
+// to ~2× the original retirement count — which makes rejected
+// non-terminating candidates cheap. maxTries as in Shrink.
+func ShrinkDivergence(p *prog.Program, res CheckResult, opts CheckOptions, maxTries int) *prog.Program {
+	if res.Div == nil {
+		return p
+	}
+	sig := *res.Div
+	pred := opts
+	if sig.Kind != KindNoHalt && res.RefCount > 0 {
+		pred.MaxInstr = 2*res.RefCount + 1000
+	}
+	cfgs := opts.Configs
+	if cfgs == nil {
+		cfgs = DefaultConfigs()
+	}
+	for _, cfg := range cfgs {
+		if cfg.Name == sig.Config {
+			pred.Configs = []cpu.Config{cfg}
+			break
+		}
+	}
+	keep := func(cand *prog.Program) bool {
+		r := Check(cand, pred)
+		return r.Div != nil && r.Div.Config == sig.Config && r.Div.Kind == sig.Kind
+	}
+	return Shrink(p, keep, maxTries)
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

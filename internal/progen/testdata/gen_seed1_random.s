@@ -1,0 +1,127 @@
+# progen v1 seed=1
+# spec b6_k8_l3_t2_i2645_I539_m0.07_p1_c3_d0.61_B0.59_f0.23_C0.11_D16384_G362503
+# variant=ref iters=1353 bound=362476 budget=362503
+	.data
+nIter:	.quad 1353
+dseed:	.quad -4689498862643123097
+region:	.space 16384
+	.text
+main:
+	ld r28, nIter(r0)
+	ld r23, dseed(r0)
+	la r25, region
+	addi r30, r25, 8192
+	li r22, 1103515245
+	cvtld f0, r23
+	cvtld f1, r28
+	fadd f2, f0, f1
+	fmul f3, f0, f0
+	li r19, 0
+	li r21, 16384
+L1:
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	add r20, r25, r19
+	sd r23, 0(r20)
+	addi r19, r19, 8
+	blt r19, r21, L1
+	li r19, 0
+	li r21, 1024
+L2:
+	addi r20, r19, 207
+	andi r20, r20, 1023
+	slli r20, r20, 3
+	add r20, r25, r20
+	slli r18, r19, 3
+	add r18, r25, r18
+	sd r20, 0(r18)
+	addi r19, r19, 1
+	blt r19, r21, L2
+	mv r24, r25
+L3:
+	bge r0, r28, L4
+	ld r24, 0(r24)
+	li r27, 2
+L5:
+	bge r0, r27, L6
+	li r26, 2
+L7:
+	bge r0, r26, L8
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 16376
+	add r19, r25, r19
+	ld r3, 0(r19)
+	andi r19, r3, 16376
+	add r19, r25, r19
+	ld r3, 0(r19)
+	andi r19, r3, 16376
+	add r19, r25, r19
+	lh r7, 0(r19)
+	nop
+	add r3, r18, r10
+	fsub f8, f1, f5
+	sra r2, r7, r16
+	mul r7, r12, r4
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1
+	beq r19, r0, L9
+	addi r9, r13, 922
+	slt r14, r16, r12
+L9:
+	nop
+	mul r6, r9, r21
+	slt r5, r17, r14
+	fabs f5, f3
+	andi r19, r15, 16376
+	add r19, r25, r19
+	ld r15, 0(r19)
+	mul r6, r4, r4
+	sra r3, r6, r5
+	srl r21, r21, r2
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1023
+	li r20, 604
+	bgeu r20, r19, L10
+	sub r16, r5, r15
+L10:
+	add r1, r12, r4
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1023
+	li r20, 604
+	blt r19, r20, L11
+	add r9, r2, r17
+L11:
+	sltu r10, r16, r9
+	fabs f4, f7
+	slli r3, r5, 12
+	addi r2, r1, -1481
+	mul r4, r17, r11
+	sll r14, r4, r9
+	srai r5, r9, 39
+	and r12, r9, r10
+	addi r26, r26, -1
+	j L7
+L8:
+	addi r27, r27, -1
+	j L5
+L6:
+	addi r28, r28, -1
+	j L3
+L4:
+	halt
+F0:
+	sltu r7, r4, r7
+	slti r17, r10, -1260
+	ret
+F1:
+	slli r17, r2, 2
+	sub r8, r15, r11
+	or r10, r4, r6
+	ret

@@ -1,0 +1,201 @@
+# progen v1 seed=42
+# spec b6_k8_l2_t6_i400_I150_m0.3_p2_c2_d0.4_B0.7_f0.15_C0.1_D32768_G400000
+# variant=ref iters=400 bound=389024 budget=400000
+	.data
+nIter:	.quad 400
+dseed:	.quad 2949826092126892291
+region:	.space 32768
+	.text
+main:
+	ld r28, nIter(r0)
+	ld r23, dseed(r0)
+	la r25, region
+	addi r30, r25, 16384
+	li r22, 1103515245
+	cvtld f0, r23
+	cvtld f1, r28
+	fadd f2, f0, f1
+	fmul f3, f0, f0
+	li r19, 0
+	li r21, 32768
+L1:
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	add r20, r25, r19
+	sd r23, 0(r20)
+	addi r19, r19, 8
+	blt r19, r21, L1
+	li r19, 0
+	li r21, 2048
+L2:
+	addi r20, r19, 51
+	andi r20, r20, 2047
+	slli r20, r20, 3
+	add r20, r25, r20
+	slli r18, r19, 3
+	add r18, r25, r18
+	sd r20, 0(r18)
+	addi r19, r19, 1
+	blt r19, r21, L2
+	mv r24, r25
+L3:
+	bge r0, r28, L4
+	ld r24, 0(r24)
+	ld r24, 0(r24)
+	li r27, 6
+L5:
+	bge r0, r27, L6
+	or r10, r8, r16
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 16376
+	add r19, r30, r19
+	sd r4, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 16376
+	add r19, r30, r19
+	fsd f8, 0(r19)
+	sll r9, r1, r3
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r5, 0(r19)
+	andi r19, r5, 32760
+	add r19, r25, r19
+	fld f6, 0(r19)
+	andi r19, r6, 16376
+	add r19, r30, r19
+	sd r9, 0(r19)
+	srli r11, r5, 42
+	slli r10, r15, 37
+	mul r12, r16, r18
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r3, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r5, 0(r19)
+	andi r19, r5, 32760
+	add r19, r25, r19
+	fld f2, 0(r19)
+	fsub f7, f9, f8
+	feq r16, f8, f7
+	sub r8, r17, r11
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r9, 0(r19)
+	andi r19, r9, 32760
+	add r19, r25, r19
+	ld r6, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r8, 0(r19)
+	andi r19, r8, 32760
+	add r19, r25, r19
+	ld r12, 0(r19)
+	andi r19, r6, 32760
+	add r19, r25, r19
+	ld r8, 0(r19)
+	andi r19, r8, 32760
+	add r19, r25, r19
+	ld r4, 0(r19)
+	sub r10, r6, r10
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 16376
+	add r19, r30, r19
+	sw r1, 0(r19)
+	sltu r4, r13, r7
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	lb r13, 0(r19)
+	slti r9, r5, 1713
+	xori r10, r14, -2036
+	fmul f8, f2, f3
+	andi r19, r18, 32760
+	add r19, r25, r19
+	ld r2, 0(r19)
+	ori r8, r17, 1574
+	xor r7, r11, r11
+	or r14, r18, r11
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1
+	bne r19, r0, L7
+	mul r4, r5, r6
+	sub r14, r4, r2
+L7:
+	xori r13, r18, -1570
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	ld r4, 0(r19)
+	sll r21, r7, r14
+	srl r2, r3, r3
+	andi r19, r4, 32760
+	add r19, r25, r19
+	ld r15, 0(r19)
+	andi r19, r15, 32760
+	add r19, r25, r19
+	lbu r5, 0(r19)
+	andi r19, r16, 32760
+	add r19, r25, r19
+	ld r16, 0(r19)
+	andi r19, r16, 32760
+	add r19, r25, r19
+	ld r10, 0(r19)
+	add r9, r21, r8
+	andi r19, r5, 32760
+	add r19, r25, r19
+	ld r7, 0(r19)
+	andi r19, r7, 32760
+	add r19, r25, r19
+	ld r12, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 16376
+	add r19, r30, r19
+	sd r7, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	andi r19, r23, 32760
+	add r19, r25, r19
+	lbu r21, 0(r19)
+	andi r19, r14, 32760
+	add r19, r25, r19
+	ld r9, 0(r19)
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1023
+	li r20, 717
+	bge r20, r19, L8
+	addi r2, r15, 389
+	rem r21, r21, r21
+L8:
+	addi r27, r27, -1
+	j L5
+L6:
+	addi r28, r28, -1
+	j L3
+L4:
+	halt
+F0:
+	sll r9, r18, r18
+	andi r6, r16, 741
+	and r12, r6, r2
+	ret

@@ -1,0 +1,69 @@
+# progen v1 seed=7
+# spec b2_k3_l1_t1_i60_I30_m0.3_p1_c2_d0.4_B0.7_f0.15_C0.1_D4096_G30000
+# variant=ref iters=60 bound=6232 budget=30000
+	.data
+nIter:	.quad 60
+dseed:	.quad 309689372594955804
+region:	.space 4096
+	.text
+main:
+	ld r28, nIter(r0)
+	ld r23, dseed(r0)
+	la r25, region
+	addi r30, r25, 2048
+	li r22, 1103515245
+	cvtld f0, r23
+	cvtld f1, r28
+	fadd f2, f0, f1
+	fmul f3, f0, f0
+	li r19, 0
+	li r21, 4096
+L1:
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	add r20, r25, r19
+	sd r23, 0(r20)
+	addi r19, r19, 8
+	blt r19, r21, L1
+	li r19, 0
+	li r21, 256
+L2:
+	addi r20, r19, 163
+	andi r20, r20, 255
+	slli r20, r20, 3
+	add r20, r25, r20
+	slli r18, r19, 3
+	add r18, r25, r18
+	sd r20, 0(r18)
+	addi r19, r19, 1
+	blt r19, r21, L2
+	mv r24, r25
+L3:
+	bge r0, r28, L4
+	ld r24, 0(r24)
+	fmul f5, f3, f0
+	mul r23, r23, r22
+	addi r23, r23, 12345
+	srli r19, r23, 33
+	andi r19, r19, 1
+	beq r19, r0, L5
+	div r5, r11, r1
+L5:
+	fsub f8, f6, f0
+	and r16, r4, r14
+	fmov f2, f2
+	addi r28, r28, -1
+	j L3
+L4:
+	halt
+F0:
+	fadd f4, f6, f8
+	srl r18, r18, r3
+	srli r4, r13, 22
+	addi r18, r13, 1936
+	mul r14, r3, r9
+	ret
+F1:
+	fmul f6, f2, f2
+	srai r15, r6, 18
+	ret

@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spear/internal/prog"
+	"spear/internal/progen"
+)
+
+// GenPrefix marks generated-kernel names: "gen:<seed>:<spec>". The spec
+// encoding is comma- and space-free, so generated names pass untouched
+// through -kernels flag splitting, sched requests, and speard job specs.
+const GenPrefix = "gen:"
+
+// Generated wraps a progen program as a Kernel, so generated workloads
+// drop into the existing harness, sweep matrix, journal, and speard stack
+// unchanged. The kernel name embeds the seed and the full canonical spec;
+// since journal/dedup run keys hash the kernel name, two generated
+// kernels collide only when they are byte-identical programs.
+//
+// Generated kernels are intentionally NOT in the registry: All() and
+// Names() stay the paper's fifteen, and generated kernels resolve only
+// through ByName/GeneratedFromName.
+func Generated(seed int64, spec progen.Spec) Kernel {
+	name := fmt.Sprintf("%s%d:%s", GenPrefix, seed, spec.String())
+	return Kernel{
+		Name:        name,
+		Suite:       "generated",
+		Description: fmt.Sprintf("property-based generated program, seed %d", seed),
+		Character:   spec.Character(),
+		build: func(in Input) (*prog.Program, error) {
+			v := progen.Ref
+			if in == Train {
+				v = progen.Train
+			}
+			return progen.Build(seed, spec, v)
+		},
+	}
+}
+
+// GeneratedFromName parses a "gen:<seed>:<spec>" kernel name. The spec
+// slot accepts either a preset name ("tiny", "chase", ...) or a full
+// canonical spec string, matching spearfuzz's -spec flag.
+func GeneratedFromName(name string) (Kernel, error) {
+	rest, ok := strings.CutPrefix(name, GenPrefix)
+	if !ok {
+		return Kernel{}, fmt.Errorf("workloads: %q is not a generated kernel name", name)
+	}
+	seedStr, specStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Kernel{}, fmt.Errorf("workloads: generated kernel %q: want gen:<seed>:<spec>", name)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return Kernel{}, fmt.Errorf("workloads: generated kernel %q: bad seed: %v", name, err)
+	}
+	if spec, ok := progen.Presets()[specStr]; ok {
+		return Generated(seed, spec), nil
+	}
+	spec, err := progen.ParseSpec(specStr)
+	if err != nil {
+		return Kernel{}, fmt.Errorf("workloads: generated kernel %q: %v", name, err)
+	}
+	return Generated(seed, spec), nil
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"spear/internal/emu"
+	"spear/internal/progen"
+)
+
+func tinySpec() progen.Spec { return progen.Presets()["tiny"] }
+
+func TestGeneratedByName(t *testing.T) {
+	want := Generated(5, tinySpec())
+	k, ok := ByName(want.Name)
+	if !ok {
+		t.Fatalf("ByName(%q) failed", want.Name)
+	}
+	if k.Name != want.Name || k.Suite != "generated" {
+		t.Fatalf("resolved wrong kernel: %+v", k)
+	}
+	for _, in := range []Input{Train, Ref} {
+		p, err := k.Build(in)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", in, err)
+		}
+		if p.Name != k.Name+"."+in.String() {
+			t.Fatalf("program name %q does not embed kernel name and input", p.Name)
+		}
+	}
+	// The name itself round-trips: parsing it reproduces the same kernel.
+	back, err := GeneratedFromName(want.Name)
+	if err != nil || back.Name != want.Name {
+		t.Fatalf("GeneratedFromName(%q) = %q, %v", want.Name, back.Name, err)
+	}
+}
+
+// TestGeneratedByNamePreset: the spec slot also accepts preset names
+// (mirroring spearfuzz -spec), and the resolved kernel's own name carries
+// the canonical spec so journal/dedup keys stay canonical.
+func TestGeneratedByNamePreset(t *testing.T) {
+	k, ok := ByName("gen:7:tiny")
+	if !ok {
+		t.Fatal(`ByName("gen:7:tiny") failed`)
+	}
+	want := Generated(7, progen.Presets()["tiny"])
+	if k.Name != want.Name {
+		t.Fatalf("preset name resolved to %q, want canonical %q", k.Name, want.Name)
+	}
+	if _, err := GeneratedFromName("gen:7:nosuchpreset"); err == nil {
+		t.Fatal("bad preset/spec accepted")
+	}
+}
+
+func TestGeneratedNotRegistered(t *testing.T) {
+	k := Generated(5, tinySpec())
+	for _, name := range Names() {
+		if strings.HasPrefix(name, GenPrefix) {
+			t.Fatalf("generated kernel %q leaked into the registry", name)
+		}
+	}
+	if len(All()) != 15 {
+		t.Fatalf("All() changed size after building a generated kernel: %d", len(All()))
+	}
+	_ = k
+}
+
+// TestGeneratedNameEncodesSeedAndSpec: the kernel name is the journal/
+// dedup identity (runKey hashes it), so seed and every spec knob must be
+// part of it, canonically.
+func TestGeneratedNameEncodesSeedAndSpec(t *testing.T) {
+	spec := tinySpec()
+	a := Generated(1, spec)
+	b := Generated(2, spec)
+	if a.Name == b.Name {
+		t.Fatal("different seeds produced the same kernel name")
+	}
+	spec2 := spec
+	spec2.Mem += 0.01
+	c := Generated(1, spec2)
+	if a.Name == c.Name {
+		t.Fatal("different specs produced the same kernel name")
+	}
+	if Generated(1, spec).Name != a.Name {
+		t.Fatal("same seed+spec must produce a stable name")
+	}
+	// Names survive comma-splitting (the -kernels flag) intact.
+	if strings.ContainsAny(a.Name, ", \t") {
+		t.Fatalf("generated name %q contains separator characters", a.Name)
+	}
+}
+
+func TestGeneratedBuildErrorPaths(t *testing.T) {
+	// A structurally valid spec whose budget cannot fit the data-fill
+	// code: Kernel.Build must surface the generator error with kernel
+	// and input context.
+	bad := tinySpec()
+	bad.DataBytes = 1 << 20
+	bad.Budget = 10_000
+	k := Generated(1, bad)
+	_, err := k.Build(Ref)
+	if err == nil {
+		t.Fatal("infeasible spec must fail to build")
+	}
+	if !strings.Contains(err.Error(), k.Name) || !strings.Contains(err.Error(), "ref") {
+		t.Fatalf("build error %q lacks kernel/input context", err)
+	}
+
+	// Malformed names must not resolve.
+	for _, name := range []string{
+		"gen:", "gen:abc:" + tinySpec().String(), "gen:1:", "gen:1:bogus",
+		"gen:1", "gen:1:b2_k3", // truncated spec
+	} {
+		if _, ok := ByName(name); ok {
+			t.Fatalf("ByName(%q) should fail", name)
+		}
+	}
+}
+
+func TestInputStringRoundTrip(t *testing.T) {
+	if Train.String() == Ref.String() {
+		t.Fatal("inputs must render distinctly")
+	}
+	fromString := func(s string) (Input, bool) {
+		switch s {
+		case Train.String():
+			return Train, true
+		case Ref.String():
+			return Ref, true
+		}
+		return 0, false
+	}
+	k := Generated(9, tinySpec())
+	for _, in := range []Input{Train, Ref} {
+		p, err := k.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suffix := p.Name[strings.LastIndexByte(p.Name, '.')+1:]
+		got, ok := fromString(suffix)
+		if !ok || got != in {
+			t.Fatalf("program name %q does not round-trip input %s", p.Name, in)
+		}
+	}
+}
+
+func TestGeneratedKernelRunsToCompletion(t *testing.T) {
+	k := Generated(3, tinySpec())
+	p, err := k.Build(Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	if err := m.Run(uint64(tinySpec().Budget)); err != nil {
+		t.Fatalf("generated kernel did not halt within its budget: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"spear/internal/asm"
 	"spear/internal/prog"
@@ -99,8 +100,19 @@ func Names() []string {
 	return names
 }
 
-// ByName finds a kernel.
+// ByName finds a kernel: one of the fifteen registered benchmarks, or a
+// generated program addressed as "gen:<seed>:<spec>" (built on the fly;
+// see Generated). Every kernel-name consumer — spearbench -kernels, sched
+// requests, speard jobs — resolves through here, so generated kernels
+// work across the whole stack.
 func ByName(name string) (*Kernel, bool) {
+	if strings.HasPrefix(name, GenPrefix) {
+		k, err := GeneratedFromName(name)
+		if err != nil {
+			return nil, false
+		}
+		return &k, true
+	}
 	for i := range registry {
 		if registry[i].Name == name {
 			return &registry[i], true
